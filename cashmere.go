@@ -1,0 +1,158 @@
+// Package cashmere is the public API of the Cashmere reproduction: a
+// programming system for heterogeneous many-core clusters that tightly
+// integrates the Satin divide-and-conquer model (automatic load balancing
+// through random work stealing, latency hiding, fault tolerance) with
+// MCL-compiled compute kernels (hardware-description hierarchy, stepwise
+// refinement for performance).
+//
+// Hijma, Jacobs, van Nieuwpoort, Bal: "Cashmere: Heterogeneous Many-Core
+// Computing", IPDPS 2015.
+//
+// A minimal program (see examples/quickstart):
+//
+//	ks, _ := cashmere.NewKernelSet("scale", kernelSource)
+//	cl, _ := cashmere.NewCluster(cashmere.DefaultConfig(4, "gtx480"))
+//	cl.Register(ks)
+//	cl.Run(func(ctx *cashmere.Context) any {
+//	    ... ctx.Spawn / ctx.Sync / ctx.EnableManyCore ...
+//	    k, _ := cashmere.GetKernel(ctx, "scale")
+//	    k.NewLaunch(cashmere.LaunchSpec{...}).Run(ctx)
+//	    return nil
+//	})
+//
+// Because real many-core hardware is unavailable to this reproduction, the
+// cluster is simulated: a process-oriented discrete-event kernel models the
+// nodes, the QDR InfiniBand interconnect, the PCIe links and the seven
+// DAS-4 device types, while MCPL kernels additionally execute for real
+// through an interpreter at verification scale. See DESIGN.md.
+package cashmere
+
+import (
+	"cashmere/internal/core"
+	"cashmere/internal/device"
+	"cashmere/internal/mcl/codegen"
+	"cashmere/internal/mcl/feedback"
+	"cashmere/internal/mcl/hdl"
+	"cashmere/internal/mcl/interp"
+	"cashmere/internal/mcl/mcpl"
+	"cashmere/internal/satin"
+	"cashmere/internal/simnet"
+	"cashmere/internal/trace"
+)
+
+// Core cluster types.
+type (
+	// Cluster is a Cashmere execution environment over a simulated cluster.
+	Cluster = core.Cluster
+	// Config describes the cluster: nodes, devices, network, runtime knobs.
+	Config = core.Config
+	// NodeSpec lists the many-core devices of one node.
+	NodeSpec = core.NodeSpec
+	// Context is the execution frame of a spawnable function.
+	Context = satin.Context
+	// Promise is a spawned job's result handle; valid after Sync.
+	Promise = satin.Promise
+	// JobDesc declares a job's modeled input/result sizes.
+	JobDesc = satin.JobDesc
+	// Kernel is a compiled compute kernel usable from leaf computations.
+	Kernel = core.Kernel
+	// LaunchSpec describes one kernel launch.
+	LaunchSpec = core.LaunchSpec
+	// KernelSet holds the stepwise-refined versions of one MCPL kernel.
+	KernelSet = codegen.KernelSet
+	// Time is a point in simulated time.
+	Time = simnet.Time
+	// Proc is a simulation process (used by custom drivers, e.g. fault
+	// injection).
+	Proc = simnet.Proc
+	// Recorder collects trace spans for Gantt charts.
+	Recorder = trace.Recorder
+	// Array is an MCPL array value used at verification scale.
+	Array = interp.Array
+	// FeedbackMessage is one piece of MCL compiler feedback.
+	FeedbackMessage = feedback.Message
+)
+
+// NewCluster builds a simulated Cashmere cluster.
+func NewCluster(cfg Config) (*Cluster, error) { return core.NewCluster(cfg) }
+
+// DefaultConfig returns a homogeneous cluster of n nodes, each with one
+// device of the named type (catalog: gtx480, c2050, k20, gtx680, titan,
+// hd7970, xeon_phi, cpu), connected by the DAS-4 QDR InfiniBand model.
+func DefaultConfig(n int, device string) Config { return core.DefaultConfig(n, device) }
+
+// NewKernelSet parses and checks MCPL sources defining versions of the
+// named kernel at different hardware-description levels.
+func NewKernelSet(name string, sources ...string) (*KernelSet, error) {
+	return codegen.NewKernelSet(name, sources...)
+}
+
+// GetKernel retrieves, from inside a leaf computation, the kernel compiled
+// for the executing node's devices (Fig. 4 of the paper).
+func GetKernel(ctx *Context, name string) (*Kernel, error) { return core.GetKernel(ctx, name) }
+
+// ParseMCPL parses and type-checks an MCPL source file.
+func ParseMCPL(src string) (*mcpl.Program, error) {
+	prog, err := mcpl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := mcpl.Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// Feedback runs the MCL stepwise-refinement feedback engine for a kernel
+// against a hardware-description level (e.g. "gpu", "gtx480"). params give
+// representative launch values for the kernel's scalar int parameters.
+func Feedback(src, kernel, level string, params map[string]int64) ([]FeedbackMessage, error) {
+	prog, err := ParseMCPL(src)
+	if err != nil {
+		return nil, err
+	}
+	h := hdl.Library()
+	lv, err := h.Lookup(level)
+	if err != nil {
+		return nil, err
+	}
+	return feedback.Generate(prog, kernel, params, lv, nil)
+}
+
+// KernelGFLOPS compiles the kernel set's most specific version for the
+// named device, evaluates the cost model for a launch with the given
+// parameters, and reports the achieved GFLOP/s assuming the launch performs
+// `flops` useful operations. It is the kernel-only metric behind Fig. 6 of
+// the paper.
+func KernelGFLOPS(ks *KernelSet, dev string, params map[string]int64, flops float64) (float64, error) {
+	c, err := ks.Compile(dev, hdl.Library())
+	if err != nil {
+		return 0, err
+	}
+	cost, err := c.Cost(params)
+	if err != nil {
+		return 0, err
+	}
+	spec, err := device.Lookup(dev)
+	if err != nil {
+		return 0, err
+	}
+	return flops / spec.KernelTime(cost).Seconds() / 1e9, nil
+}
+
+// NewFloatArray allocates a float array for verification-scale kernel runs.
+func NewFloatArray(dims ...int) *Array { return interp.NewFloatArray(dims...) }
+
+// NewIntArray allocates an int array for verification-scale kernel runs.
+func NewIntArray(dims ...int) *Array { return interp.NewIntArray(dims...) }
+
+// HardwareLevels returns the names of the built-in hardware-description
+// hierarchy (Fig. 2 of the paper).
+func HardwareLevels() []string {
+	h := hdl.Library()
+	var names []string
+	for name := range h.Levels {
+		names = append(names, name)
+	}
+	return names
+}

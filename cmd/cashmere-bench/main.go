@@ -1,0 +1,123 @@
+// Command cashmere-bench regenerates the tables and figures of the paper's
+// evaluation section on the simulated cluster.
+//
+// Usage:
+//
+//	cashmere-bench -experiment all
+//	cashmere-bench -experiment fig7
+//	cashmere-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cashmere/internal/bench"
+)
+
+var experiments = []string{
+	"tab2", "fig6",
+	"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+	"tab3", "fig15", "fig16", "fig17",
+}
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment id (tab2, fig6..fig17, tab3) or all")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Println(e)
+		}
+		return
+	}
+	run := func(id string) {
+		if err := runExperiment(id); err != nil {
+			fmt.Fprintf(os.Stderr, "cashmere-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+	if *exp == "all" {
+		for _, e := range experiments {
+			run(e)
+		}
+		return
+	}
+	run(*exp)
+}
+
+// scalability results are cached because figN and figN+1 come from the same
+// runs.
+var scaleCache = map[string][2]bench.Figure{}
+
+func scalability(app string) ([2]bench.Figure, error) {
+	if f, ok := scaleCache[app]; ok {
+		return f, nil
+	}
+	sp, ab, err := bench.Scalability(app)
+	if err != nil {
+		return [2]bench.Figure{}, err
+	}
+	scaleCache[app] = [2]bench.Figure{sp, ab}
+	return scaleCache[app], nil
+}
+
+func runExperiment(id string) error {
+	appOf := map[string]string{
+		"fig7": "raytracer", "fig8": "raytracer",
+		"fig9": "matmul", "fig10": "matmul",
+		"fig11": "kmeans", "fig12": "kmeans",
+		"fig13": "nbody", "fig14": "nbody",
+	}
+	switch id {
+	case "tab2":
+		fmt.Print(bench.Table2())
+	case "fig6":
+		fig, err := bench.Fig6KernelPerformance()
+		if err != nil {
+			return err
+		}
+		fmt.Print(fig.Format())
+	case "fig7", "fig9", "fig11", "fig13":
+		figs, err := scalability(appOf[id])
+		if err != nil {
+			return err
+		}
+		fmt.Print(figs[0].Format())
+	case "fig8", "fig10", "fig12", "fig14":
+		figs, err := scalability(appOf[id])
+		if err != nil {
+			return err
+		}
+		fmt.Print(figs[1].Format())
+	case "tab3":
+		rows, err := bench.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable3(rows))
+	case "fig15":
+		fig, err := bench.Fig15Efficiency()
+		if err != nil {
+			return err
+		}
+		fmt.Print(fig.Format())
+	case "fig16":
+		s, err := bench.Fig16Gantt()
+		if err != nil {
+			return err
+		}
+		fmt.Print(s)
+	case "fig17":
+		s, err := bench.Fig17Gantt()
+		if err != nil {
+			return err
+		}
+		fmt.Print(s)
+	default:
+		return fmt.Errorf("unknown experiment %q (use -list)", id)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+// Command cashmere-run executes one of the paper's four applications on a
+// configurable simulated cluster and reports the achieved performance.
+//
+// Usage:
+//
+//	cashmere-run -app raytracer -nodes 16 -device gtx480 -variant opt
+//	cashmere-run -app kmeans -cluster "10xgtx480,2xc2050,1xk20+xeon_phi"
+//	cashmere-run -app nbody -nodes 4 -device k20 -gantt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cashmere/internal/apps"
+	"cashmere/internal/core"
+	"cashmere/internal/trace"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "raytracer", "application: raytracer, matmul, kmeans, nbody")
+		nodes   = flag.Int("nodes", 4, "number of homogeneous nodes (ignored with -cluster)")
+		dev     = flag.String("device", "gtx480", "device type for homogeneous clusters")
+		cluster = flag.String("cluster", "", `heterogeneous spec, e.g. "10xgtx480,1xk20+xeon_phi"`)
+		variant = flag.String("variant", "opt", "satin, unopt or opt")
+		gantt   = flag.Bool("gantt", false, "print a Gantt chart of the execution")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	v := map[string]apps.Variant{
+		"satin": apps.Satin, "unopt": apps.CashmereUnoptimized, "opt": apps.CashmereOptimized,
+	}[*variant]
+
+	cfg := core.DefaultConfig(*nodes, *dev)
+	cfg.Seed = *seed
+	cfg.Record = *gantt
+	if v == apps.Satin {
+		cfg.Satin.WorkersPerNode = 8
+		// Satin's CPU leaves run for seconds; coarse idle backoff keeps the
+		// event volume of the simulation bounded.
+		cfg.Satin.MaxIdleBackoff = 50 * time.Millisecond
+	}
+	if *cluster != "" {
+		specs, err := parseCluster(*cluster)
+		die(err)
+		cfg.Nodes = specs
+	}
+	cl, err := core.NewCluster(cfg)
+	die(err)
+
+	var res apps.Result
+	switch *app {
+	case "raytracer":
+		ks, e := apps.RaytracerKernels(v)
+		die(e)
+		die(cl.Register(ks))
+		res, err = apps.RunRaytracer(cl, apps.PaperRaytracer(), v)
+	case "matmul":
+		ks, e := apps.MatmulKernels(v)
+		die(e)
+		die(cl.Register(ks))
+		res, err = apps.RunMatmul(cl, apps.PaperMatmul(), v)
+	case "kmeans":
+		ks, e := apps.KMeansKernels(v)
+		die(e)
+		die(cl.Register(ks))
+		res, err = apps.RunKMeans(cl, apps.PaperKMeans(), v)
+	case "nbody":
+		ks, e := apps.NBodyKernels(v)
+		die(e)
+		die(cl.Register(ks))
+		res, err = apps.RunNBody(cl, apps.PaperNBody(), v)
+	default:
+		die(fmt.Errorf("unknown application %q", *app))
+	}
+	die(err)
+
+	fmt.Printf("%s (%s) on %d nodes: %v virtual, %.0f GFLOPS\n",
+		*app, *variant, len(cfg.Nodes), res.Elapsed, res.GFLOPS)
+	rt := cl.Runtime()
+	fmt.Printf("jobs spawned %d, executed %d; steals ok %d / failed %d; cpu fallbacks %d\n",
+		rt.JobsSpawned, rt.JobsExecuted, rt.StealsOK, rt.StealsFailed, cl.CPUFallbacks)
+	for i := range cfg.Nodes {
+		ns := cl.NodeState(i)
+		for _, d := range ns.Devices {
+			fmt.Printf("  node %2d %-12s launches=%4d kernel-busy=%v\n",
+				i, d.Name(), d.Launches(), d.KernelBusy())
+		}
+	}
+	if *gantt {
+		fmt.Println(cl.Recorder().Gantt(trace.GanttOptions{Width: 110}))
+	}
+}
+
+// parseCluster parses "10xgtx480,2xc2050,1xk20+xeon_phi".
+func parseCluster(s string) ([]core.NodeSpec, error) {
+	var out []core.NodeSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		count := 1
+		devs := part
+		if i := strings.Index(part, "x"); i > 0 {
+			if n, err := strconv.Atoi(part[:i]); err == nil {
+				count = n
+				devs = part[i+1:]
+			}
+		}
+		spec := core.NodeSpec{Devices: strings.Split(devs, "+")}
+		for i := 0; i < count; i++ {
+			out = append(out, spec)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty cluster spec %q", s)
+	}
+	return out, nil
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cashmere-run:", err)
+		os.Exit(1)
+	}
+}

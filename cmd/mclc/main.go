@@ -1,0 +1,151 @@
+// Command mclc is the MCL compiler front-end: it parses MCPL kernels,
+// reports stepwise-refinement feedback for a chosen hardware-description
+// level, translates kernels between levels and emits the generated
+// OpenCL-style code plus the launch glue.
+//
+// Usage:
+//
+//	mclc -kernel matmul -target gtx480 [-feedback] [-emit] [-params n=1024,m=1024,p=1024] file.mcpl
+//	mclc -list-hardware
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cashmere/internal/device"
+	"cashmere/internal/mcl/codegen"
+	"cashmere/internal/mcl/feedback"
+	"cashmere/internal/mcl/hdl"
+	"cashmere/internal/mcl/mcpl"
+	"cashmere/internal/mcl/translate"
+)
+
+func main() {
+	var (
+		kernel = flag.String("kernel", "", "kernel name (default: the single kernel in the file)")
+		target = flag.String("target", "gpu", "target hardware description")
+		doFeed = flag.Bool("feedback", true, "print stepwise-refinement feedback")
+		doEmit = flag.Bool("emit", false, "emit generated OpenCL-style code")
+		doCost = flag.Bool("cost", false, "print the analysis report and modeled cost")
+		params = flag.String("params", "", "launch parameters, e.g. n=1024,m=1024")
+		listHW = flag.Bool("list-hardware", false, "list the hardware-description hierarchy and exit")
+	)
+	flag.Parse()
+
+	h := hdl.Library()
+	if *listHW {
+		// Print the hierarchy as an indented tree (Fig. 2 of the paper).
+		var dump func(lv *hdl.Level, depth int)
+		dump = func(lv *hdl.Level, depth int) {
+			fmt.Printf("%s%s\n", strings.Repeat("  ", depth), lv.Name)
+			var kids []string
+			for name, child := range h.Levels {
+				if child.Parent == lv {
+					kids = append(kids, name)
+				}
+			}
+			sort.Strings(kids)
+			for _, k := range kids {
+				dump(h.Levels[k], depth+1)
+			}
+		}
+		dump(h.Root, 0)
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mclc [flags] file.mcpl")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	die(err)
+	prog, err := mcpl.Parse(string(src))
+	die(err)
+	_, err = mcpl.Check(prog)
+	die(err)
+
+	name := *kernel
+	if name == "" {
+		ks := prog.Kernels()
+		if len(ks) != 1 {
+			die(fmt.Errorf("file defines %d kernels; use -kernel", len(ks)))
+		}
+		name = ks[0].Name
+	}
+	lv, err := h.Lookup(*target)
+	die(err)
+	die(translate.ValidateLevel(prog, name, h))
+
+	p := map[string]int64{}
+	if *params != "" {
+		for _, kv := range strings.Split(*params, ",") {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				die(fmt.Errorf("bad parameter %q", kv))
+			}
+			v, err := strconv.ParseInt(parts[1], 10, 64)
+			die(err)
+			p[parts[0]] = v
+		}
+	}
+
+	var spec *device.Spec
+	if s, err := device.Lookup(*target); err == nil {
+		spec = s
+	}
+
+	if *doFeed {
+		msgs, err := feedback.Generate(prog, name, p, lv, spec)
+		die(err)
+		if len(msgs) == 0 {
+			fmt.Printf("%s: no feedback for level %q — ready to translate down\n", name, lv.Name)
+		}
+		for _, m := range msgs {
+			fmt.Println(m)
+		}
+	}
+
+	if *doEmit {
+		out, err := translate.Translate(prog, name, lv)
+		die(err)
+		text, err := codegen.EmitOpenCL(out, name)
+		die(err)
+		fmt.Print(text)
+	}
+
+	if *doCost {
+		k := prog.Kernel(name)
+		simd := 32
+		if spec != nil {
+			simd = spec.SIMDWidth
+		}
+		rep, err := codegen.Analyze(prog, name, p, simd)
+		die(err)
+		fmt.Printf("kernel %s (level %s) analyzed for %s:\n", name, k.Level, lv.Name)
+		fmt.Printf("  flops            %.4g (divergent %.0f%%)\n", rep.Flops, rep.DivergentFrac()*100)
+		fmt.Printf("  traffic          uniform %.4g, coalesced %.4g, strided %.4g, gathered %.4g bytes\n",
+			rep.UniformBytes, rep.CoalescedBytes, rep.StridedBytes, rep.GatheredBytes)
+		fmt.Printf("  local memory     %d bytes/work-group (used: %v)\n", rep.LocalBytes, rep.UsesLocalMemory)
+		fmt.Printf("  parallelism      %.4g work-items\n", rep.ThreadParallelism)
+		if spec != nil {
+			cost := codegen.Cost(rep, spec, 0)
+			fmt.Printf("  modeled on %s: %v (%.1f GFLOPS)\n", spec.Name, spec.KernelTime(cost), spec.GFLOPS(cost))
+		}
+		for _, w := range rep.Warnings {
+			fmt.Printf("  warning: %s\n", w)
+		}
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mclc:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,121 @@
+// Heterogeneous execution: an n-body simulation across a cluster that
+// mixes five device types, including a node that carries both a K20 and a
+// Xeon Phi — the configuration class of Table III of the paper.
+//
+// The example shows Cashmere's two load-balancing layers at work: random
+// work stealing spreads node-level jobs across the unequal nodes, and the
+// intra-node scheduler splits each node's jobs over its devices using the
+// static speed table and measured kernel times (Sec. III-B).
+//
+// Run with: go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cashmere"
+)
+
+const nbodyKernel = `
+perfect void nbody(int nloc, int off, int n,
+    float[n,4] pos, float[nloc,3] acc) {
+  foreach (int i in nloc threads) {
+    float px = pos[off + i, 0];
+    float py = pos[off + i, 1];
+    float pz = pos[off + i, 2];
+    float ax = 0.0;
+    float ay = 0.0;
+    float az = 0.0;
+    for (int j = 0; j < n; j++) {
+      float dx = pos[j,0] - px;
+      float dy = pos[j,1] - py;
+      float dz = pos[j,2] - pz;
+      float d2 = dx * dx + dy * dy + dz * dz + 0.01;
+      float inv = rsqrt(d2);
+      float s = pos[j,3] * inv * inv * inv;
+      ax += dx * s;
+      ay += dy * s;
+      az += dz * s;
+    }
+    acc[i,0] = ax;
+    acc[i,1] = ay;
+    acc[i,2] = az;
+  }
+}
+`
+
+func main() {
+	ks, err := cashmere.NewKernelSet("nbody", nbodyKernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A small heterogeneous cluster: widely different device speeds, one
+	// node with two devices.
+	cfg := cashmere.DefaultConfig(4, "gtx480")
+	cfg.Nodes = []cashmere.NodeSpec{
+		{Devices: []string{"gtx480"}},
+		{Devices: []string{"titan"}},
+		{Devices: []string{"c2050"}},
+		{Devices: []string{"k20", "xeon_phi"}},
+	}
+	cl, err := cashmere.NewCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cl.Register(ks); err != nil {
+		log.Fatal(err)
+	}
+
+	const (
+		n      = 1 << 20 // one million bodies
+		leaf   = 16384
+		leaves = n / leaf
+	)
+	var run func(ctx *cashmere.Context, lo, hi int)
+	run = func(ctx *cashmere.Context, lo, hi int) {
+		if hi-lo == 1 {
+			k, err := cashmere.GetKernel(ctx, "nbody")
+			if err != nil {
+				log.Fatal(err)
+			}
+			err = k.NewLaunch(cashmere.LaunchSpec{
+				Params:  map[string]int64{"nloc": leaf, "off": int64(lo * leaf), "n": n},
+				InBytes: n * 16, OutBytes: leaf * 12,
+			}).Run(ctx)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		if hi-lo <= 8 && !ctx.ManyCore() {
+			ctx.EnableManyCore()
+		}
+		mid := (lo + hi) / 2
+		desc := cashmere.JobDesc{Name: "nbody", InputBytes: 256, ResultBytes: int64((hi - lo) * leaf * 12)}
+		ctx.Spawn(desc, func(c *cashmere.Context) any { run(c, lo, mid); return nil })
+		ctx.Spawn(desc, func(c *cashmere.Context) any { run(c, mid, hi); return nil })
+		ctx.Sync()
+	}
+
+	_, elapsed, err := cl.Run(func(ctx *cashmere.Context) any {
+		run(ctx, 0, leaves)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	flops := 20.0 * float64(n) * float64(n)
+	fmt.Printf("n-body (%d bodies, %d leaves) on 4 heterogeneous nodes: %v, %.0f GFLOPS\n",
+		n, leaves, elapsed, flops/elapsed.Seconds()/1e9)
+	fmt.Println("\nper-device load (work stealing + intra-node scheduling):")
+	for i := range cfg.Nodes {
+		ns := cl.NodeState(i)
+		for _, d := range ns.Devices {
+			fmt.Printf("  node %d %-12s launches=%3d kernel-busy=%12v\n",
+				i, d.Name(), d.Launches(), d.KernelBusy())
+		}
+	}
+}

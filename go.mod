@@ -1,0 +1,3 @@
+module cashmere
+
+go 1.22

@@ -1,0 +1,80 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Sec. V): per-kernel performance (Fig. 6), the scalability
+// studies on 1-16 GTX480 nodes (Figs. 7-14), the heterogeneous runs
+// (Table III), heterogeneous efficiency (Fig. 15) and the k-means Gantt
+// charts (Figs. 16/17). Absolute numbers come from the calibrated device
+// and network models; the harness prints the same rows and series the paper
+// reports so shapes can be compared directly.
+//
+// Because the cluster is simulated with a discrete-event kernel, running
+// the full paper-scale problems costs only simulation events (a few
+// thousand leaf jobs), so every experiment runs at the paper's sizes.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one line of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is the data behind one reproduced figure or table.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Format renders the figure as an aligned text table: one row per X value,
+// one column per series.
+func (f Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	if len(f.Series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %22s", s.Label)
+	}
+	b.WriteString("\n")
+	for i := range f.Series[0].X {
+		fmt.Fprintf(&b, "%-14.6g", f.Series[0].X[i])
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, " %22.6g", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, " %22s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Row looks up the Y value of series label at x (for tests).
+func (f Figure) Row(label string, x float64) (float64, bool) {
+	for _, s := range f.Series {
+		if s.Label != label {
+			continue
+		}
+		for i, xv := range s.X {
+			if xv == x {
+				return s.Y[i], true
+			}
+		}
+	}
+	return 0, false
+}

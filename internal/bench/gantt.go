@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"fmt"
+
+	"cashmere/internal/trace"
+)
+
+// Fig16Gantt reproduces Fig. 16: a zoomed-in Gantt chart of the
+// heterogeneous k-means execution showing a GTX480 node alongside the node
+// fitted with a Xeon Phi and a K20, with kernel executions overlapping
+// PCIe transfers and CPU tasks.
+func Fig16Gantt() (string, error) {
+	cfg := Table3Configs()["kmeans"]
+	_, cl, err := runHetero("kmeans", cfg.Nodes, true)
+	if err != nil {
+		return "", err
+	}
+	rec := cl.Recorder()
+	// The K20+Phi node is the last one; node 0 is a GTX480 node.
+	phiNode := len(cfg.Nodes) - 1
+	spans := rec.Filter(func(s trace.Span) bool {
+		return s.Node == 0 || s.Node == phiNode
+	})
+	sub := trace.FromSpans(spans)
+	// Zoom to the measured computation: the window starts at the first
+	// kernel execution (skipping the one-time input staging).
+	var first, last trace.Span
+	for i, s := range spans {
+		if s.Kind == trace.KindKernel && (first.End == 0 || s.Start < first.Start) {
+			first = s
+		}
+		if s.End > last.End {
+			last = spans[i]
+		}
+	}
+	out := fmt.Sprintf("== fig16: zoomed Gantt of heterogeneous k-means (node 0 = gtx480, node %d = k20+xeon_phi) ==\n", phiNode)
+	out += sub.Gantt(trace.GanttOptions{
+		Width: 110,
+		From:  first.Start,
+		To:    last.End,
+	})
+	return out, nil
+}
+
+// Fig17Gantt reproduces Fig. 17: the zoomed-out chart with everything but
+// kernel executions removed, showing the execution pattern sustained across
+// iterations.
+func Fig17Gantt() (string, error) {
+	cfg := Table3Configs()["kmeans"]
+	_, cl, err := runHetero("kmeans", cfg.Nodes, true)
+	if err != nil {
+		return "", err
+	}
+	out := "== fig17: Gantt of heterogeneous k-means, kernel executions only ==\n"
+	out += cl.Recorder().Gantt(trace.GanttOptions{Width: 110, KernelOnly: true})
+	return out, nil
+}

@@ -1,0 +1,217 @@
+// Package core implements Cashmere: the tight integration of the Satin
+// divide-and-conquer runtime with MCL-compiled kernels (Sec. II-C and III of
+// the paper). It provides:
+//
+//   - cluster setup: a master that broadcasts run-time information, per-node
+//     device discovery, and compilation of the most specific kernel version
+//     for every device (Sec. III-B, "On initialization");
+//   - the kernel front-end used inside leaf computations: GetKernel /
+//     NewLaunch / Launch, with automatic host-device transfers, device-memory
+//     management and a CPU fallback when kernel setup fails (Fig. 4);
+//   - the intra-node multi-device scheduler: a static relative-speed table
+//     bootstraps queue assignment, measured kernel times refine it, and each
+//     job goes to the queue that minimizes the overall completion time
+//     (Sec. III-B, "spawning jobs to the many-core devices").
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cashmere/internal/mcl/codegen"
+	"cashmere/internal/mcl/hdl"
+	"cashmere/internal/network"
+	"cashmere/internal/ocl"
+	"cashmere/internal/satin"
+	"cashmere/internal/simnet"
+	"cashmere/internal/trace"
+)
+
+// NodeSpec describes one node of the simulated cluster.
+type NodeSpec struct {
+	Devices []string // device catalog names, e.g. {"k20", "xeon_phi"}
+}
+
+// Config describes a Cashmere cluster.
+type Config struct {
+	Nodes  []NodeSpec
+	Net    network.Config
+	Satin  satin.Config
+	Seed   int64
+	Record bool // collect trace spans (Gantt charts)
+	// Verify runs every kernel launch through the MCPL interpreter on real
+	// data (the launch must supply Args). Used at verification scale; paper-
+	// scale runs leave it off and only charge modeled time.
+	Verify bool
+}
+
+// DefaultConfig returns a homogeneous cluster of n nodes with one device of
+// the given type each, connected by the DAS-4 QDR InfiniBand model.
+func DefaultConfig(n int, dev string) Config {
+	sc := satin.DefaultConfig()
+	// A Cashmere leaf already exposes parallelism for the whole many-core
+	// device, so one worker per node suffices (Sec. V-B: Satin must create
+	// 8x more jobs to keep a node busy). A single worker also keeps sibling
+	// node-level jobs stealable instead of being consumed locally.
+	sc.WorkersPerNode = 1
+	// Cashmere leaves are tens of milliseconds; keep job discovery fast.
+	sc.MaxIdleBackoff = time.Millisecond
+	nodes := make([]NodeSpec, n)
+	for i := range nodes {
+		nodes[i] = NodeSpec{Devices: []string{dev}}
+	}
+	return Config{Nodes: nodes, Net: network.QDRInfiniBand(), Satin: sc, Seed: 1}
+}
+
+// Cluster is a Cashmere execution environment.
+type Cluster struct {
+	cfg Config
+	k   *simnet.Kernel
+	rt  *satin.Runtime
+	rec *trace.Recorder
+	h   *hdl.Hierarchy
+
+	nodes    []*NodeState
+	registry map[string]*codegen.KernelSet
+
+	initialized bool
+
+	// FlopsCharged accumulates the modeled flops of every kernel launch,
+	// for GFLOPS reporting by the benchmark harness.
+	FlopsCharged float64
+	// CPUFallbacks counts leaves that fell back to the CPU.
+	CPUFallbacks int64
+}
+
+// NodeState is the per-node Cashmere state (devices, compiled kernels,
+// scheduler).
+type NodeState struct {
+	cl          *Cluster
+	ID          int
+	Devices     []*ocl.Device
+	Sched       *Scheduler
+	kernels     map[string][]*codegen.Compiled // kernel name -> per-device compiled form
+	residentVer map[residentKey]int            // device-resident data versions
+}
+
+// residentKey identifies one resident buffer on one device of a node.
+type residentKey struct {
+	dev int
+	tag string
+}
+
+// NewCluster builds the cluster. Call Register for each kernel set, then
+// Run (which initializes on first use).
+func NewCluster(cfg Config) (*Cluster, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("core: cluster needs at least one node")
+	}
+	k := simnet.NewKernel(cfg.Seed)
+	var rec *trace.Recorder
+	if cfg.Record {
+		rec = trace.New()
+	}
+	cl := &Cluster{
+		cfg:      cfg,
+		k:        k,
+		rt:       satin.New(k, len(cfg.Nodes), cfg.Net, cfg.Satin, rec),
+		rec:      rec,
+		h:        hdl.Library(),
+		registry: map[string]*codegen.KernelSet{},
+	}
+	for i, ns := range cfg.Nodes {
+		on, err := ocl.NewNode(k, i, rec, ns.Devices...)
+		if err != nil {
+			return nil, err
+		}
+		state := &NodeState{
+			cl: cl, ID: i, Devices: on.Devices,
+			kernels:     map[string][]*codegen.Compiled{},
+			residentVer: map[residentKey]int{},
+		}
+		state.Sched = newScheduler(state)
+		cl.nodes = append(cl.nodes, state)
+		cl.rt.Node(i).SetDeviceState(state)
+	}
+	return cl, nil
+}
+
+// Kernel returns the simulation kernel (for custom drivers and tests).
+func (cl *Cluster) Kernel() *simnet.Kernel { return cl.k }
+
+// Runtime returns the underlying Satin runtime.
+func (cl *Cluster) Runtime() *satin.Runtime { return cl.rt }
+
+// Recorder returns the trace recorder, or nil when Config.Record is false.
+func (cl *Cluster) Recorder() *trace.Recorder { return cl.rec }
+
+// NodeState returns node i's Cashmere state.
+func (cl *Cluster) NodeState(i int) *NodeState { return cl.nodes[i] }
+
+// Verify reports whether kernels execute on real data.
+func (cl *Cluster) Verify() bool { return cl.cfg.Verify }
+
+// Register adds a kernel set (all versions of one kernel) to the cluster's
+// registry. Must be called before Run.
+func (cl *Cluster) Register(ks *codegen.KernelSet) error {
+	if cl.initialized {
+		return fmt.Errorf("core: Register after initialization")
+	}
+	if _, dup := cl.registry[ks.Name]; dup {
+		return fmt.Errorf("core: kernel %q registered twice", ks.Name)
+	}
+	cl.registry[ks.Name] = ks
+	return nil
+}
+
+// initialize compiles, on every node, the most specific version of every
+// registered kernel for each of the node's devices (Sec. III-B: the master
+// broadcasts run-time information and each node compiles for its devices).
+func (cl *Cluster) initialize() error {
+	for _, ns := range cl.nodes {
+		for name, ks := range cl.registry {
+			var compiled []*codegen.Compiled
+			for _, dev := range ns.Devices {
+				c, err := ks.Compile(dev.Spec().Leaf, cl.h)
+				if err != nil {
+					return fmt.Errorf("core: node %d, device %s: %w", ns.ID, dev.Name(), err)
+				}
+				compiled = append(compiled, c)
+			}
+			ns.kernels[name] = compiled
+		}
+	}
+	cl.initialized = true
+	return nil
+}
+
+// Run initializes the cluster (master broadcast of run-time information,
+// kernel compilation) and executes main as the root Cashmere job, returning
+// its result and the virtual completion time.
+func (cl *Cluster) Run(main func(ctx *satin.Context) any) (any, simnet.Time, error) {
+	if !cl.initialized {
+		if err := cl.initialize(); err != nil {
+			return nil, 0, err
+		}
+	}
+	v, end := cl.rt.Run(main)
+	return v, end, nil
+}
+
+// GetKernel is the Cashmere front-end call of Fig. 4: from a leaf
+// computation, retrieve the kernel compiled for this node's devices.
+// It fails if the kernel is unknown, which (per Fig. 4) sends the caller to
+// its CPU fallback.
+func GetKernel(ctx *satin.Context, name string) (*Kernel, error) {
+	ns, ok := ctx.Node().DeviceState().(*NodeState)
+	if !ok {
+		return nil, fmt.Errorf("core: node %d has no Cashmere state", ctx.NodeID())
+	}
+	if len(ns.Devices) == 0 {
+		return nil, fmt.Errorf("core: node %d has no many-core devices", ctx.NodeID())
+	}
+	if _, ok := ns.kernels[name]; !ok {
+		return nil, fmt.Errorf("core: kernel %q not registered", name)
+	}
+	return &Kernel{ns: ns, name: name}, nil
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cashmere/internal/mcl/codegen"
+	"cashmere/internal/mcl/interp"
+	"cashmere/internal/satin"
+	"cashmere/internal/simnet"
+)
+
+const scaleKernel = `
+perfect void scale(int n, float[n] a) {
+  foreach (int i in n threads) {
+    a[i] = a[i] * 2.0 + 1.0;
+  }
+}
+`
+
+func mustKS(t *testing.T, name string, sources ...string) *codegen.KernelSet {
+	t.Helper()
+	ks, err := codegen.NewKernelSet(name, sources...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ks
+}
+
+func TestClusterInitializeCompilesPerDevice(t *testing.T) {
+	cfg := DefaultConfig(2, "gtx480")
+	cfg.Nodes[1] = NodeSpec{Devices: []string{"k20", "xeon_phi"}}
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Register(mustKS(t, "scale", scaleKernel)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = cl.Run(func(ctx *satin.Context) any { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cl.NodeState(1).kernels["scale"]); got != 2 {
+		t.Fatalf("node 1 compiled %d kernel forms, want 2", got)
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	cl, _ := NewCluster(DefaultConfig(1, "k20"))
+	ks := mustKS(t, "scale", scaleKernel)
+	if err := cl.Register(ks); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Register(ks); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if _, err := NewCluster(Config{}); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+	if _, err := NewCluster(DefaultConfig(1, "bogus")); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}
+
+func TestLaunchChargesTimeAndFlops(t *testing.T) {
+	cfg := DefaultConfig(1, "gtx480")
+	cl, _ := NewCluster(cfg)
+	cl.Register(mustKS(t, "scale", scaleKernel))
+	const n = 1 << 20
+	_, end, err := cl.Run(func(ctx *satin.Context) any {
+		k, err := GetKernel(ctx, "scale")
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		l := k.NewLaunch(LaunchSpec{
+			Params:  map[string]int64{"n": n},
+			InBytes: 4 * n, OutBytes: 4 * n,
+		})
+		if err := l.Run(ctx); err != nil {
+			t.Error(err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.FlopsCharged < n || cl.FlopsCharged > 3*n {
+		t.Fatalf("FlopsCharged = %g, want ~2n", cl.FlopsCharged)
+	}
+	// Two 4 MiB transfers at 5.5 GB/s are ~1.5ms; the run must cost at
+	// least that plus kernel time.
+	if end < simnet.Time(1*time.Millisecond) {
+		t.Fatalf("launch cost only %v", end)
+	}
+}
+
+func TestGetKernelErrors(t *testing.T) {
+	cfg := DefaultConfig(1, "gtx480")
+	cl, _ := NewCluster(cfg)
+	cl.Register(mustKS(t, "scale", scaleKernel))
+	cl.Run(func(ctx *satin.Context) any {
+		if _, err := GetKernel(ctx, "missing"); err == nil {
+			t.Error("GetKernel(missing) succeeded")
+		}
+		return nil
+	})
+}
+
+func TestOOMFallsBackToCPUPath(t *testing.T) {
+	// gtx480 has 1.5 GB; a 4 GB launch must fail with the error the app's
+	// catch branch turns into a CPU leaf (Fig. 4).
+	cfg := DefaultConfig(1, "gtx480")
+	cl, _ := NewCluster(cfg)
+	cl.Register(mustKS(t, "scale", scaleKernel))
+	cl.Run(func(ctx *satin.Context) any {
+		k, _ := GetKernel(ctx, "scale")
+		err := k.NewLaunch(LaunchSpec{
+			Params:  map[string]int64{"n": 1 << 30},
+			InBytes: 4 << 30,
+		}).Run(ctx)
+		if err == nil {
+			t.Error("4 GB launch on a 1.5 GB device succeeded")
+		}
+		return nil
+	})
+	if cl.CPUFallbacks != 1 {
+		t.Fatalf("CPUFallbacks = %d", cl.CPUFallbacks)
+	}
+}
+
+func TestVerifyModeExecutesKernel(t *testing.T) {
+	cfg := DefaultConfig(1, "k20")
+	cfg.Verify = true
+	cl, _ := NewCluster(cfg)
+	cl.Register(mustKS(t, "scale", scaleKernel))
+	a := interp.NewFloatArray(8)
+	for i := range a.F {
+		a.F[i] = float64(i)
+	}
+	cl.Run(func(ctx *satin.Context) any {
+		k, _ := GetKernel(ctx, "scale")
+		err := k.NewLaunch(LaunchSpec{
+			Params:  map[string]int64{"n": 8},
+			InBytes: 32, OutBytes: 32,
+			Args: []any{int64(8), a},
+		}).Run(ctx)
+		if err != nil {
+			t.Error(err)
+		}
+		return nil
+	})
+	for i := range a.F {
+		want := float64(i)*2 + 1
+		if math.Abs(a.F[i]-want) > 1e-12 {
+			t.Fatalf("verify mode did not execute: a[%d] = %v, want %v", i, a.F[i], want)
+		}
+	}
+}
+
+// TestSchedulerFig16Split reproduces the paper's load-balancing example:
+// a node with a Xeon Phi and a K20 receives sets of 8 equal k-means jobs;
+// with the Phi about 4x slower, the best schedule puts 1 job on the Phi and
+// 7 on the K20 (Sec. V-C, Fig. 16).
+func TestSchedulerFig16Split(t *testing.T) {
+	cfg := DefaultConfig(1, "k20")
+	cfg.Nodes[0] = NodeSpec{Devices: []string{"xeon_phi", "k20"}}
+	cl, _ := NewCluster(cfg)
+	cl.Register(mustKS(t, "scale", scaleKernel))
+	perDevice := make([]int, 2)
+	cl.Run(func(ctx *satin.Context) any {
+		ctx.EnableManyCore()
+		ns := cl.NodeState(0)
+		// Submit the whole set of 8 jobs before any completes, as the
+		// many-core threads do between syncs in Fig. 16.
+		type picked struct {
+			dev int
+			est time.Duration
+		}
+		var ps []picked
+		for i := 0; i < 8; i++ {
+			dev, est := ns.Sched.Pick("scale")
+			perDevice[dev]++
+			ps = append(ps, picked{dev, est})
+		}
+		for _, pk := range ps {
+			m := 100 * time.Millisecond
+			if ns.Devices[pk.dev].Spec().Name == "xeon_phi" {
+				m = 400 * time.Millisecond
+			}
+			ns.Sched.Done("scale", pk.dev, pk.est, m)
+		}
+		return nil
+	})
+	if perDevice[0] != 1 || perDevice[1] != 7 {
+		t.Fatalf("schedule = %d on phi, %d on k20; want 1/7", perDevice[0], perDevice[1])
+	}
+}
+
+func TestSchedulerPrefersMeasuredTimes(t *testing.T) {
+	cfg := DefaultConfig(1, "k20")
+	cfg.Nodes[0] = NodeSpec{Devices: []string{"gtx480", "k20"}}
+	cl, _ := NewCluster(cfg)
+	cl.Register(mustKS(t, "scale", scaleKernel))
+	cl.Run(func(ctx *satin.Context) any {
+		ns := cl.NodeState(0)
+		s := ns.Sched
+		// Record measurements contradicting the static table: gtx480
+		// (speed 20) measures FASTER than k20 (speed 40) for this kernel.
+		s.Done("scale", 0, 0, 10*time.Millisecond)
+		s.Done("scale", 1, 0, 50*time.Millisecond)
+		counts := make([]int, 2)
+		for i := 0; i < 6; i++ {
+			d, est := s.Pick("scale")
+			counts[d]++
+			s.Done("scale", d, est, s.Measured("scale", d))
+		}
+		// With 10ms vs 50ms, 5 of 6 jobs go to the gtx480.
+		if counts[0] < 4 {
+			t.Errorf("measured times ignored: %v", counts)
+		}
+		return nil
+	})
+}
+
+func TestSchedulerEstimateScalesAcrossDevices(t *testing.T) {
+	cfg := DefaultConfig(1, "k20")
+	cfg.Nodes[0] = NodeSpec{Devices: []string{"xeon_phi", "k20"}}
+	cl, _ := NewCluster(cfg)
+	cl.Register(mustKS(t, "scale", scaleKernel))
+	ns := cl.NodeState(0)
+	// Only the k20 (speed 40) has been measured: 100ms. The phi (speed 10)
+	// estimate should scale to ~400ms.
+	ns.Sched.Done("scale", 1, 0, 100*time.Millisecond)
+	est := ns.Sched.Estimate("scale", 0)
+	if est != 400*time.Millisecond {
+		t.Fatalf("phi estimate = %v, want 400ms", est)
+	}
+}
+
+func TestDeviceCopyResidentData(t *testing.T) {
+	cfg := DefaultConfig(1, "k20")
+	cl, _ := NewCluster(cfg)
+	cl.Register(mustKS(t, "scale", scaleKernel))
+	cl.Run(func(ctx *satin.Context) any {
+		k, _ := GetKernel(ctx, "scale")
+		d := k.GetDevice()
+		release, err := d.Copy(ctx, 1<<20, "points")
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		if cl.NodeState(0).Devices[d.Index()].MemUsed() != 1<<20 {
+			t.Error("resident data not accounted")
+		}
+		// Iterative launches against resident data move only small deltas.
+		for i := 0; i < 3; i++ {
+			if err := k.NewLaunch(LaunchSpec{
+				Params:  map[string]int64{"n": 1 << 18},
+				InBytes: 1024, OutBytes: 1024,
+			}).OnDevice(d.Index()).Run(ctx); err != nil {
+				t.Error(err)
+			}
+		}
+		release()
+		if cl.NodeState(0).Devices[d.Index()].MemUsed() != 0 {
+			t.Error("release leaked device memory")
+		}
+		d.CopyBack(ctx, 1<<20, "points-back")
+		return nil
+	})
+}
+
+func TestManyCoreLaunchesOverlapAcrossDevices(t *testing.T) {
+	// Two devices, two concurrent many-core jobs: the makespan must be
+	// roughly one kernel time, not two.
+	cfg := DefaultConfig(1, "k20")
+	cfg.Nodes[0] = NodeSpec{Devices: []string{"k20", "k20"}}
+	cl, _ := NewCluster(cfg)
+	cl.Register(mustKS(t, "scale", scaleKernel))
+	const n = 64 << 20 // 256 MB array: ~big kernel
+	_, end, err := cl.Run(func(ctx *satin.Context) any {
+		ctx.EnableManyCore()
+		for i := 0; i < 2; i++ {
+			ctx.Spawn(satin.JobDesc{Name: "leaf"}, func(c *satin.Context) any {
+				k, _ := GetKernel(c, "scale")
+				if err := k.NewLaunch(LaunchSpec{
+					Params:  map[string]int64{"n": n},
+					InBytes: 4 * n, OutBytes: 4 * n,
+				}).Run(c); err != nil {
+					t.Error(err)
+				}
+				return nil
+			})
+		}
+		ctx.Sync()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One launch alone: ~2x 44ms transfers + kernel. If the two jobs
+	// serialized on one device the end time would double.
+	single := clRunSingle(t, n)
+	if float64(end) > 1.3*float64(single) {
+		t.Fatalf("two devices did not overlap: 2-job makespan %v vs single %v", end, single)
+	}
+}
+
+func clRunSingle(t *testing.T, n int64) simnet.Time {
+	t.Helper()
+	cfg := DefaultConfig(1, "k20")
+	cl, _ := NewCluster(cfg)
+	cl.Register(mustKS(t, "scale", scaleKernel))
+	_, end, err := cl.Run(func(ctx *satin.Context) any {
+		k, _ := GetKernel(ctx, "scale")
+		if err := k.NewLaunch(LaunchSpec{
+			Params:  map[string]int64{"n": n},
+			InBytes: 4 * n, OutBytes: 4 * n,
+		}).Run(ctx); err != nil {
+			t.Error(err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return end
+}

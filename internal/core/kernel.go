@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+
+	"cashmere/internal/satin"
+	"cashmere/internal/simnet"
+)
+
+// Kernel is the handle returned by GetKernel: the named kernel, compiled
+// for every device of the calling node.
+type Kernel struct {
+	ns   *NodeState
+	name string
+}
+
+// Name returns the kernel name.
+func (k *Kernel) Name() string { return k.name }
+
+// LaunchSpec describes one kernel launch.
+type LaunchSpec struct {
+	// Params gives concrete values for the kernel's scalar int parameters;
+	// the cost model and the work-group glue are evaluated with them.
+	Params map[string]int64
+	// InBytes / OutBytes are the host->device / device->host transfer sizes
+	// of this launch. Data already resident on the device (Device.Copy)
+	// must not be counted again.
+	InBytes, OutBytes int64
+	// Args are the real arguments (scalars and *interp.Array) for
+	// verification-scale execution; ignored unless the cluster runs with
+	// Verify.
+	Args []any
+	// Resident declares device-resident input data (the paper's "device
+	// copies" optimization, Sec. II-C.1): the named buffer is transferred to
+	// the chosen device only when that device has not yet seen this
+	// Version. Iterative applications use it to re-ship bulk inputs once
+	// per device per iteration instead of once per launch.
+	Resident *Resident
+	// Label annotates trace spans.
+	Label string
+	// Device pins the launch to a specific device index on the node,
+	// bypassing the scheduler (used with resident data). -1 (default via
+	// NewLaunch) lets the scheduler choose.
+	Device int
+	// OutOfCore enables streaming execution for launches whose data exceeds
+	// the device memory: the launch is split into passes that each stage a
+	// chunk, run the corresponding slice of the kernel and drain results.
+	// This is the extension the paper lists as future work (Sec. VI, the
+	// Glasswing comparison: "Glasswing supports out-of-core data which
+	// Cashmere does not support yet").
+	OutOfCore bool
+}
+
+// Resident identifies device-resident data. Tag names the buffer, Bytes is
+// its size, Version changes whenever the host-side contents change.
+type Resident struct {
+	Tag     string
+	Bytes   int64
+	Version int
+}
+
+// Launch is a prepared kernel launch (Fig. 4: kernel.createLaunch()).
+type Launch struct {
+	k    *Kernel
+	spec LaunchSpec
+}
+
+// NewLaunch prepares a launch.
+func (k *Kernel) NewLaunch(spec LaunchSpec) *Launch {
+	if spec.Device == 0 {
+		spec.Device = -1 // 0 is a valid index; treat the zero value as unset
+	}
+	if spec.Label == "" {
+		spec.Label = k.name
+	}
+	return &Launch{k: k, spec: spec}
+}
+
+// OnDevice pins the launch to device index d of the node.
+func (l *Launch) OnDevice(d int) *Launch {
+	l.spec.Device = d
+	return l
+}
+
+// Run executes the full launch cycle, blocking the calling frame in virtual
+// time: schedule onto a device queue, allocate device memory, copy inputs,
+// execute (modeled by the MCL cost descriptor), copy outputs, free memory.
+// With Verify enabled it additionally runs the kernel through the MCPL
+// interpreter on the supplied Args, so results are real and checkable.
+//
+// Errors (unknown parameters, device out of memory) are returned to the
+// caller, whose catch branch runs the CPU fallback (Fig. 4).
+func (l *Launch) Run(ctx *satin.Context) error {
+	ns := l.k.ns
+	p := ctx.Proc()
+
+	var devIdx int
+	var est simnet.Duration
+	if l.spec.Device >= 0 {
+		if l.spec.Device >= len(ns.Devices) {
+			return fmt.Errorf("core: node %d has no device %d", ns.ID, l.spec.Device)
+		}
+		devIdx = l.spec.Device
+		est = ns.Sched.Estimate(l.k.name, devIdx)
+		ns.Sched.pending[devIdx] += est
+	} else {
+		devIdx, est = ns.Sched.Pick(l.k.name)
+	}
+	dev := ns.Devices[devIdx]
+	compiled := ns.kernels[l.k.name][devIdx]
+
+	cost, err := compiled.Cost(l.spec.Params)
+	if err != nil {
+		ns.Sched.Done(l.k.name, devIdx, est, 0)
+		return err
+	}
+
+	// Cashmere manages device memory automatically (Sec. II-C.3): if the
+	// launch fits the device at all, wait for concurrent launches to release
+	// their buffers; only a launch that can never fit raises the exception
+	// that sends the caller to its CPU fallback (Fig. 4) — unless the
+	// out-of-core extension streams it in passes.
+	total := l.spec.InBytes + l.spec.OutBytes
+	if total > dev.Spec().GlobalMem {
+		if l.spec.OutOfCore {
+			return l.runOutOfCore(ctx, devIdx, est)
+		}
+		ns.Sched.Done(l.k.name, devIdx, est, 0)
+		ns.cl.CPUFallbacks++
+		return fmt.Errorf("core: launch needs %d bytes, device %s has %d", total, dev.Name(), dev.Spec().GlobalMem)
+	}
+	buf, err := dev.AllocBlocking(p, total)
+	if err != nil {
+		ns.Sched.Done(l.k.name, devIdx, est, 0)
+		ns.cl.CPUFallbacks++
+		return err
+	}
+	defer buf.Free()
+
+	if r := l.spec.Resident; r != nil {
+		key := residentKey{dev: devIdx, tag: r.Tag}
+		if ns.residentVer[key] != r.Version {
+			dev.WriteBytes(p, r.Bytes, l.spec.Label+":"+r.Tag)
+			ns.residentVer[key] = r.Version
+		}
+	}
+	if l.spec.InBytes > 0 {
+		dev.WriteBytes(p, l.spec.InBytes, l.spec.Label+":in")
+	}
+	measured := dev.Launch(p, cost, l.spec.Label)
+	if l.spec.OutBytes > 0 {
+		dev.ReadBytes(p, l.spec.OutBytes, l.spec.Label+":out")
+	}
+	ns.Sched.Done(l.k.name, devIdx, est, measured)
+	ns.cl.FlopsCharged += cost.Flops
+
+	if ns.cl.cfg.Verify {
+		if err := compiled.Run(l.spec.Args...); err != nil {
+			return fmt.Errorf("core: verification execution failed: %w", err)
+		}
+	}
+	return nil
+}
+
+// runOutOfCore streams a launch whose data exceeds device memory: the
+// input is staged in chunks of half the device memory (leaving room for
+// double buffering), each pass runs the proportional slice of the kernel,
+// and the proportional slice of the output drains after it. Transfers of
+// pass i+1 overlap the kernel of pass i through the independent DMA and
+// compute engines.
+func (l *Launch) runOutOfCore(ctx *satin.Context, devIdx int, est simnet.Duration) error {
+	ns := l.k.ns
+	p := ctx.Proc()
+	dev := ns.Devices[devIdx]
+	compiled := ns.kernels[l.k.name][devIdx]
+
+	cost, err := compiled.Cost(l.spec.Params)
+	if err != nil {
+		ns.Sched.Done(l.k.name, devIdx, est, 0)
+		return err
+	}
+	chunk := dev.Spec().GlobalMem / 2
+	total := l.spec.InBytes + l.spec.OutBytes
+	passes := int((total + chunk - 1) / chunk)
+	if passes < 1 {
+		passes = 1
+	}
+	passCost := cost
+	passCost.Flops /= float64(passes)
+	passCost.MemBytes /= float64(passes)
+	inPass := l.spec.InBytes / int64(passes)
+	outPass := l.spec.OutBytes / int64(passes)
+
+	buf, err := dev.AllocBlocking(p, chunk)
+	if err != nil {
+		ns.Sched.Done(l.k.name, devIdx, est, 0)
+		return err
+	}
+	defer buf.Free()
+
+	var measured simnet.Duration
+	done := simnet.NewWaitGroup(ns.cl.k)
+	for pass := 0; pass < passes; pass++ {
+		pass := pass
+		done.Add(1)
+		// Each pass is its own thread, so pass i+1's input staging overlaps
+		// pass i's kernel (the engines serialize what must serialize).
+		ns.cl.k.Spawn(fmt.Sprintf("ooc.%s.%d", l.spec.Label, pass), func(sp *simnet.Proc) {
+			defer done.Done()
+			if inPass > 0 {
+				dev.WriteBytes(sp, inPass, fmt.Sprintf("%s:in.%d", l.spec.Label, pass))
+			}
+			measured += dev.Launch(sp, passCost, fmt.Sprintf("%s.%d", l.spec.Label, pass))
+			if outPass > 0 {
+				dev.ReadBytes(sp, outPass, fmt.Sprintf("%s:out.%d", l.spec.Label, pass))
+			}
+		})
+	}
+	done.Wait(p)
+	ns.Sched.Done(l.k.name, devIdx, est, measured)
+	ns.cl.FlopsCharged += cost.Flops
+	if ns.cl.cfg.Verify {
+		if err := compiled.Run(l.spec.Args...); err != nil {
+			return fmt.Errorf("core: verification execution failed: %w", err)
+		}
+	}
+	return nil
+}
+
+// Device exposes a node device for the "device copies" optimization
+// (Sec. II-C.1): copy input data once, launch many times.
+type Device struct {
+	ns  *NodeState
+	idx int
+}
+
+// GetDevice returns the device handle the scheduler would currently pick
+// for the kernel, without booking work (Kernel.getDevice() in the paper).
+func (k *Kernel) GetDevice() *Device {
+	best, est := k.ns.Sched.Pick(k.name)
+	k.ns.Sched.Done(k.name, best, est, k.ns.Sched.Measured(k.name, best))
+	return &Device{ns: k.ns, idx: best}
+}
+
+// DeviceAt returns a handle to device idx of the node.
+func (k *Kernel) DeviceAt(idx int) *Device { return &Device{ns: k.ns, idx: idx} }
+
+// Index returns the device index within its node.
+func (d *Device) Index() int { return d.idx }
+
+// Copy transfers n bytes host-to-device ahead of a series of launches
+// (Device.copy() in the paper). The returned release function frees the
+// device memory.
+func (d *Device) Copy(ctx *satin.Context, n int64, label string) (release func(), err error) {
+	dev := d.ns.Devices[d.idx]
+	buf, err := dev.Alloc(n)
+	if err != nil {
+		return nil, err
+	}
+	dev.Write(ctx.Proc(), buf, label)
+	return func() { buf.Free() }, nil
+}
+
+// CopyBack transfers n bytes device-to-host.
+func (d *Device) CopyBack(ctx *satin.Context, n int64, label string) {
+	d.ns.Devices[d.idx].ReadBytes(ctx.Proc(), n, label)
+}

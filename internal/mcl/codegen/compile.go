@@ -1,0 +1,271 @@
+package codegen
+
+import (
+	"fmt"
+	"sort"
+
+	"cashmere/internal/device"
+	"cashmere/internal/mcl/hdl"
+	"cashmere/internal/mcl/interp"
+	"cashmere/internal/mcl/mcpl"
+	"cashmere/internal/mcl/translate"
+)
+
+// KernelSet holds the versions of one kernel at different abstraction
+// levels — the "multiple files with different versions of the same kernel"
+// that stepwise refinement produces (Sec. III-A).
+type KernelSet struct {
+	Name     string
+	Versions map[string]*mcpl.Program // level -> program containing the kernel
+}
+
+// NewKernelSet parses and checks each source file and indexes the versions
+// of the named kernel by their declared level.
+func NewKernelSet(name string, sources ...string) (*KernelSet, error) {
+	ks := &KernelSet{Name: name, Versions: map[string]*mcpl.Program{}}
+	for i, src := range sources {
+		prog, err := mcpl.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("codegen: kernel %s, source %d: %w", name, i, err)
+		}
+		if _, err := mcpl.Check(prog); err != nil {
+			return nil, fmt.Errorf("codegen: kernel %s, source %d: %w", name, i, err)
+		}
+		k := prog.Kernel(name)
+		if k == nil {
+			return nil, fmt.Errorf("codegen: source %d does not define kernel %q", i, name)
+		}
+		if _, dup := ks.Versions[k.Level]; dup {
+			return nil, fmt.Errorf("codegen: kernel %s has two versions at level %q", name, k.Level)
+		}
+		ks.Versions[k.Level] = prog
+	}
+	if len(ks.Versions) == 0 {
+		return nil, fmt.Errorf("codegen: kernel %s has no versions", name)
+	}
+	return ks, nil
+}
+
+// Levels returns the available version levels, sorted.
+func (ks *KernelSet) Levels() []string {
+	var out []string
+	for l := range ks.Versions {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Compiled is a kernel compiled for one leaf hardware description: the
+// OpenCL-style source, the executable form, and the cost-model hooks.
+type Compiled struct {
+	Name        string
+	Leaf        string
+	SourceLevel string // level of the version selected by MostSpecific
+	Distance    int    // hierarchy distance from SourceLevel to Leaf
+	OpenCL      string // generated device code (translated to the leaf)
+
+	src        *mcpl.Program // the selected version, used for execution/analysis
+	translated *mcpl.Program
+	spec       *device.Spec
+}
+
+// Compile selects the most specific applicable version for the leaf,
+// translates it, and produces the generated code plus glue metadata.
+func (ks *KernelSet) Compile(leaf string, h *hdl.Hierarchy) (*Compiled, error) {
+	lv, err := h.Lookup(leaf)
+	if err != nil {
+		return nil, err
+	}
+	level, err := h.MostSpecific(ks.Levels(), leaf)
+	if err != nil {
+		return nil, fmt.Errorf("codegen: kernel %s: %w (Cashmere suggests adding a hardware description for %q)", ks.Name, err, leaf)
+	}
+	src := ks.Versions[level]
+	srcLv, err := h.Lookup(level)
+	if err != nil {
+		return nil, err
+	}
+	if err := translate.ValidateLevel(src, ks.Name, h); err != nil {
+		return nil, err
+	}
+	tr, err := translate.Translate(src, ks.Name, lv)
+	if err != nil {
+		return nil, err
+	}
+	text, err := EmitOpenCL(tr, ks.Name)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := device.Lookup(leaf)
+	if err != nil {
+		// Leaves without a device model (none today) still compile; cost
+		// queries will fail.
+		spec = nil
+	}
+	return &Compiled{
+		Name:        ks.Name,
+		Leaf:        leaf,
+		SourceLevel: level,
+		Distance:    lv.Depth() - srcLv.Depth(),
+		OpenCL:      text,
+		src:         src,
+		translated:  tr,
+		spec:        spec,
+	}, nil
+}
+
+// Run executes the kernel on the host (through the MCPL interpreter),
+// verifying real data at verification scale.
+func (c *Compiled) Run(args ...any) error {
+	return interp.Run(c.src, c.Name, args...)
+}
+
+// Analyze runs the cost analysis for a launch with the given scalar
+// parameters.
+func (c *Compiled) Analyze(params map[string]int64) (*Report, error) {
+	simd := 32
+	if c.spec != nil {
+		simd = c.spec.SIMDWidth
+	}
+	return Analyze(c.src, c.Name, params, simd)
+}
+
+// Cost returns the device cost descriptor for a launch.
+func (c *Compiled) Cost(params map[string]int64) (device.KernelCost, error) {
+	if c.spec == nil {
+		return device.KernelCost{}, fmt.Errorf("codegen: no device model for leaf %q", c.Leaf)
+	}
+	rep, err := c.Analyze(params)
+	if err != nil {
+		return device.KernelCost{}, err
+	}
+	return Cost(rep, c.spec, c.Distance), nil
+}
+
+// Glue is the launch configuration MCL generates for Cashmere: the OpenCL
+// work-group/work-item shape for a concrete launch (Sec. III-A: "MCL
+// determines the work-group and work-item configuration based on the kernel
+// parameters and its hardware descriptions").
+type Glue struct {
+	GlobalSize []int64
+	LocalSize  []int64
+}
+
+// Items reports the total number of work-items.
+func (g Glue) Items() int64 {
+	n := int64(1)
+	for _, s := range g.GlobalSize {
+		n *= s
+	}
+	return n
+}
+
+// LaunchConfig computes the glue configuration for a launch with the given
+// scalar parameters.
+func (c *Compiled) LaunchConfig(params map[string]int64) (Glue, error) {
+	f := c.src.Kernel(c.Name)
+	type dim struct {
+		bound int64
+		group bool // blocks/cores vs threads/vectors
+	}
+	var dims []dim
+	cur := f.Body
+	for {
+		var fe *mcpl.Foreach
+		for _, s := range cur.Stmts {
+			if x, ok := s.(*mcpl.Foreach); ok {
+				fe = x
+				break
+			}
+		}
+		if fe == nil {
+			break
+		}
+		b, err := evalIntExpr(fe.Bound, params)
+		if err != nil {
+			return Glue{}, fmt.Errorf("codegen: foreach bound %s: %w", mcpl.ExprString(fe.Bound), err)
+		}
+		dims = append(dims, dim{bound: b, group: fe.Unit != "threads" && fe.Unit != "vectors"})
+		cur = fe.Body
+	}
+	if len(dims) == 0 {
+		return Glue{}, fmt.Errorf("codegen: kernel %s has no foreach parallelism", c.Name)
+	}
+	var groups, threads []int64
+	for _, d := range dims {
+		if d.group {
+			groups = append(groups, d.bound)
+		} else {
+			threads = append(threads, d.bound)
+		}
+	}
+	g := Glue{}
+	if len(groups) > 0 && len(groups) == len(threads) {
+		// Explicit blocks-of-threads structure (hand-optimized kernels):
+		// pair the i-th group dimension with the i-th thread dimension.
+		for i := range groups {
+			g.GlobalSize = append(g.GlobalSize, groups[i]*threads[i])
+			g.LocalSize = append(g.LocalSize, threads[i])
+		}
+		return g, nil
+	}
+	// Flat thread-style nest (level perfect): MCL picks the work-group shape
+	// from its hardware descriptions.
+	ext := translate.BlockExtents(len(dims))
+	for i, d := range dims {
+		e := ext[i%len(ext)]
+		g.LocalSize = append(g.LocalSize, e)
+		g.GlobalSize = append(g.GlobalSize, (d.bound+e-1)/e*e)
+	}
+	return g, nil
+}
+
+// evalIntExpr evaluates an integer expression over launch parameters.
+func evalIntExpr(x mcpl.Expr, params map[string]int64) (int64, error) {
+	switch v := x.(type) {
+	case *mcpl.IntLit:
+		return v.Value, nil
+	case *mcpl.Ident:
+		if val, ok := params[v.Name]; ok {
+			return val, nil
+		}
+		return 0, fmt.Errorf("unknown parameter %q", v.Name)
+	case *mcpl.Binary:
+		l, err := evalIntExpr(v.L, params)
+		if err != nil {
+			return 0, err
+		}
+		r, err := evalIntExpr(v.R, params)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "*":
+			return l * r, nil
+		case "/":
+			if r == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			return l / r, nil
+		case "%":
+			if r == 0 {
+				return 0, fmt.Errorf("modulo by zero")
+			}
+			return l % r, nil
+		}
+		return 0, fmt.Errorf("unsupported operator %q", v.Op)
+	case *mcpl.Unary:
+		if v.Op == "-" {
+			n, err := evalIntExpr(v.X, params)
+			return -n, err
+		}
+		return 0, fmt.Errorf("unsupported unary %q", v.Op)
+	default:
+		return 0, fmt.Errorf("unsupported expression %s", mcpl.ExprString(x))
+	}
+}

@@ -1,0 +1,64 @@
+package codegen
+
+import (
+	"cashmere/internal/device"
+)
+
+// Penalty factors for non-coalesced traffic: a strided access touches more
+// memory transactions than it uses; a gathered (data-dependent) access is
+// modeled as one transaction per lane.
+const (
+	stridedWaste  = 4.0
+	gatheredWaste = 8.0
+	// divergencePenalty scales how strongly data-dependent branching
+	// degrades SIMD throughput.
+	divergencePenalty = 0.8
+	// specificityStep is the per-level efficiency loss for a kernel compiled
+	// from a hardware description d levels above the device leaf: less
+	// specific code misses device-specific tuning (work-group shape,
+	// unrolling) even before structural optimizations.
+	specificityStep = 0.05
+)
+
+// Cost converts an analysis report into the device cost descriptor used by
+// the simulated OpenCL runtime. distance is the number of hierarchy levels
+// between the kernel's source level and the device leaf (0 when the kernel
+// was written for the leaf itself).
+func Cost(r *Report, spec *device.Spec, distance int) device.KernelCost {
+	mem := r.UniformBytes + r.CoalescedBytes + stridedWaste*r.StridedBytes + gatheredWaste*r.GatheredBytes
+
+	spec0 := 1.0 - specificityStep*float64(min(distance, 3))
+	ce := spec.BaseComputeEff * (1 - divergencePenalty*r.DivergentFrac()) * spec0
+	if ce < 0.02 {
+		ce = 0.02
+	}
+	be := spec.BaseBandwidthEff * spec0
+	if be < 0.05 {
+		be = 0.05
+	}
+
+	// A launch whose exposed parallelism cannot fill the device runs at
+	// reduced occupancy (~4 waves per lane suffice to hide memory latency).
+	lanes := float64(spec.ComputeUnits * spec.SIMDWidth * 4)
+	if r.ThreadParallelism > 0 && r.ThreadParallelism < lanes {
+		occ := r.ThreadParallelism / lanes
+		if occ < 0.05 {
+			occ = 0.05
+		}
+		ce *= occ
+	}
+
+	return device.KernelCost{
+		Flops:        r.Flops,
+		MemBytes:     mem,
+		ComputeEff:   ce,
+		BandwidthEff: be,
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,673 @@
+package mcpl
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse lexes and parses an MCPL source file.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(TokEOF) {
+		f, err := p.funcDecl()
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs = append(prog.Funcs, f)
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error; for tests and embedded kernels.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type parser struct {
+	toks []Token
+	off  int
+}
+
+func (p *parser) cur() Token { return p.toks[p.off] }
+func (p *parser) at(k TokKind) bool {
+	return p.cur().Kind == k
+}
+func (p *parser) is(text string) bool { return p.cur().Is(text) }
+
+func (p *parser) next() Token {
+	t := p.cur()
+	if t.Kind != TokEOF {
+		p.off++
+	}
+	return t
+}
+
+func (p *parser) expect(text string) (Token, error) {
+	if !p.is(text) {
+		return Token{}, fmt.Errorf("%v: expected %q, found %s", p.cur().Pos, text, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%v: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+}
+
+func typeKeyword(t Token) bool {
+	return t.Kind == TokKeyword &&
+		(t.Text == "void" || t.Text == "int" || t.Text == "float" || t.Text == "boolean")
+}
+
+func spaceKeyword(t Token) bool {
+	return t.Kind == TokKeyword &&
+		(t.Text == "local" || t.Text == "global" || t.Text == "private")
+}
+
+func (p *parser) parseSpace() Space {
+	if spaceKeyword(p.cur()) {
+		switch p.next().Text {
+		case "global":
+			return SpaceGlobal
+		case "local":
+			return SpaceLocal
+		case "private":
+			return SpacePrivate
+		}
+	}
+	return SpaceDefault
+}
+
+// parseType parses `int`, `float`, `boolean`, `void` or `float[e1,e2,...]`.
+func (p *parser) parseType() (Type, error) {
+	t := p.cur()
+	if !typeKeyword(t) {
+		return Type{}, p.errf("expected type, found %s", t)
+	}
+	p.next()
+	var ty Type
+	switch t.Text {
+	case "void":
+		ty.Kind = KindVoid
+	case "int":
+		ty.Kind = KindInt
+	case "float":
+		ty.Kind = KindFloat
+	case "boolean":
+		ty.Kind = KindBool
+	}
+	if p.is("[") {
+		p.next()
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return Type{}, err
+			}
+			ty.Dims = append(ty.Dims, e)
+			if p.is(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect("]"); err != nil {
+			return Type{}, err
+		}
+	}
+	return ty, nil
+}
+
+// funcDecl parses a kernel (`level type name(params) block`) or a helper
+// function (`type name(params) block`).
+func (p *parser) funcDecl() (*Func, error) {
+	f := &Func{Pos: p.cur().Pos}
+	if p.at(TokIdent) {
+		f.Level = p.next().Text
+	}
+	ret, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	f.Return = ret
+	if !p.at(TokIdent) {
+		return nil, p.errf("expected function name, found %s", p.cur())
+	}
+	f.Name = p.next().Text
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for !p.is(")") {
+		prm := Param{Pos: p.cur().Pos}
+		prm.Space = p.parseSpace()
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		prm.Type = ty
+		if !p.at(TokIdent) {
+			return nil, p.errf("expected parameter name, found %s", p.cur())
+		}
+		prm.Name = p.next().Text
+		f.Params = append(f.Params, prm)
+		if p.is(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	pos := p.cur().Pos
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: pos}
+	for !p.is("}") {
+		if p.at(TokEOF) {
+			return nil, p.errf("unterminated block (opened at %v)", pos)
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next()
+	return b, nil
+}
+
+// blockOrStmt parses a block, or a single statement wrapped in a block.
+func (p *parser) blockOrStmt() (*Block, error) {
+	if p.is("{") {
+		return p.block()
+	}
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return &Block{Stmts: []Stmt{s}, Pos: s.Position()}, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Is("{"):
+		return p.block()
+	case t.Kind == TokIdent && t.Text == "@expect":
+		return p.expectAttr()
+	case t.Is("if"):
+		return p.ifStmt()
+	case t.Is("for"):
+		return p.forStmt(nil)
+	case t.Is("while"):
+		return p.whileStmt(nil)
+	case t.Is("foreach"):
+		return p.foreachStmt()
+	case t.Is("return"):
+		p.next()
+		r := &Return{Pos: t.Pos}
+		if !p.is(";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			r.Value = e
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case spaceKeyword(t) || typeKeyword(t):
+		d, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return d, nil
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// expectAttr parses `@expect(n) for ...` or `@expect(n) while ...`.
+func (p *parser) expectAttr() (Stmt, error) {
+	p.next() // @expect
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.is("for"):
+		return p.forStmt(e)
+	case p.is("while"):
+		return p.whileStmt(e)
+	default:
+		return nil, p.errf("@expect must precede a for or while loop")
+	}
+}
+
+func (p *parser) varDecl() (*VarDecl, error) {
+	pos := p.cur().Pos
+	space := p.parseSpace()
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if ty.Kind == KindVoid {
+		return nil, p.errf("cannot declare a void variable")
+	}
+	if !p.at(TokIdent) {
+		return nil, p.errf("expected variable name, found %s", p.cur())
+	}
+	name := p.next().Text
+	d := &VarDecl{Name: name, Type: ty, Space: space, Pos: pos}
+	if p.is("=") {
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	return d, nil
+}
+
+// simpleStmt parses assignment, inc/dec, or expression statements (without
+// the trailing semicolon, so it is reusable in for-headers).
+func (p *parser) simpleStmt() (Stmt, error) {
+	pos := p.cur().Pos
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.is("=") || p.is("+=") || p.is("-=") || p.is("*=") || p.is("/=") || p.is("%="):
+		op := p.next().Text
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := checkLvalue(e); err != nil {
+			return nil, err
+		}
+		return &Assign{Lhs: e, Op: op, Rhs: rhs, Pos: pos}, nil
+	case p.is("++") || p.is("--"):
+		op := p.next().Text
+		if err := checkLvalue(e); err != nil {
+			return nil, err
+		}
+		return &IncDec{Lhs: e, Op: op, Pos: pos}, nil
+	default:
+		if c, ok := e.(*Call); ok && c.Name == "barrier" {
+			return &Barrier{Pos: pos}, nil
+		}
+		return &ExprStmt{X: e, Pos: pos}, nil
+	}
+}
+
+func checkLvalue(e Expr) error {
+	switch e.(type) {
+	case *Ident, *Index:
+		return nil
+	default:
+		return fmt.Errorf("%v: cannot assign to %s", e.Position(), ExprString(e))
+	}
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	pos := p.next().Pos // if
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.blockOrStmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &If{Cond: cond, Then: then, Pos: pos}
+	if p.is("else") {
+		p.next()
+		if p.is("if") {
+			e, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = e
+		} else {
+			e, err := p.blockOrStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = e
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) forStmt(expect Expr) (Stmt, error) {
+	pos := p.next().Pos // for
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var init Stmt
+	if !p.is(";") {
+		var err error
+		if typeKeyword(p.cur()) {
+			init, err = p.varDecl()
+		} else {
+			init, err = p.simpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	var cond Expr
+	if !p.is(";") {
+		var err error
+		cond, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	var post Stmt
+	if !p.is(")") {
+		var err error
+		post, err = p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.blockOrStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &For{Init: init, Cond: cond, Post: post, Body: body, Expect: expect, Pos: pos}, nil
+}
+
+func (p *parser) whileStmt(expect Expr) (Stmt, error) {
+	pos := p.next().Pos // while
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.blockOrStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &While{Cond: cond, Body: body, Expect: expect, Pos: pos}, nil
+}
+
+// foreachStmt parses `foreach (int i in N unit) body`.
+func (p *parser) foreachStmt() (Stmt, error) {
+	pos := p.next().Pos // foreach
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if !p.is("int") {
+		return nil, p.errf("foreach variable must be declared int")
+	}
+	p.next()
+	if !p.at(TokIdent) {
+		return nil, p.errf("expected foreach variable name, found %s", p.cur())
+	}
+	name := p.next().Text
+	if _, err := p.expect("in"); err != nil {
+		return nil, err
+	}
+	bound, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(TokIdent) {
+		return nil, p.errf("expected parallelism unit (e.g. threads), found %s", p.cur())
+	}
+	unit := p.next().Text
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.blockOrStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &Foreach{Var: name, Bound: bound, Unit: unit, Body: body, Pos: pos}, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expr() (Expr, error) {
+	e, err := p.binExpr(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.is("?") {
+		pos := p.next().Pos
+		t, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		f, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Cond{C: e, T: t, F: f, Pos: pos}, nil
+	}
+	return e, nil
+}
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokPunct {
+			break
+		}
+		prec, ok := binPrec[t.Text]
+		if !ok || prec < minPrec {
+			break
+		}
+		p.next()
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: t.Text, L: lhs, R: rhs, Pos: t.Pos}
+	}
+	return lhs, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Is("-") || t.Is("!") || t.Is("~"):
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: t.Text, X: x, Pos: t.Pos}, nil
+	case t.Is("(") && p.off+1 < len(p.toks) && typeKeyword(p.toks[p.off+1]) &&
+		p.off+2 < len(p.toks) && p.toks[p.off+2].Is(")"):
+		// Cast: (int)x or (float)x.
+		p.next()
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Cast{To: ty, X: x, Pos: t.Pos}, nil
+	default:
+		return p.postfix()
+	}
+}
+
+func (p *parser) postfix() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.is("["):
+			pos := p.next().Pos
+			var args []Expr
+			for {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.is(",") {
+					p.next()
+					continue
+				}
+				break
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e = &Index{Array: e, Args: args, Pos: pos}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokIntLit:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%v: bad integer literal %q", t.Pos, t.Text)
+		}
+		return &IntLit{Value: v, Pos: t.Pos}, nil
+	case t.Kind == TokFloatLit:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%v: bad float literal %q", t.Pos, t.Text)
+		}
+		return &FloatLit{Value: v, Pos: t.Pos}, nil
+	case t.Is("true"):
+		p.next()
+		return &BoolLit{Value: true, Pos: t.Pos}, nil
+	case t.Is("false"):
+		p.next()
+		return &BoolLit{Value: false, Pos: t.Pos}, nil
+	case t.Is("("):
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == TokIdent:
+		p.next()
+		if p.is("(") {
+			p.next()
+			var args []Expr
+			for !p.is(")") {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.is(",") {
+					p.next()
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &Call{Name: t.Text, Args: args, Pos: t.Pos}, nil
+		}
+		return &Ident{Name: t.Text, Pos: t.Pos}, nil
+	default:
+		return nil, p.errf("expected expression, found %s", t)
+	}
+}

@@ -1,0 +1,266 @@
+package translate
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cashmere/internal/mcl/hdl"
+	"cashmere/internal/mcl/interp"
+	"cashmere/internal/mcl/mcpl"
+)
+
+const matmulSrc = `
+perfect void matmul(int n, int m, int p,
+    float[n,m] c, float[n,p] a, float[p,m] b) {
+  foreach (int i in n threads) {
+    foreach (int j in m threads) {
+      float sum = 0.0;
+      for (int k = 0; k < p; k++) {
+        sum += a[i,k] * b[k,j];
+      }
+      c[i,j] += sum;
+    }
+  }
+}
+`
+
+func level(t *testing.T, name string) *hdl.Level {
+	t.Helper()
+	lv, err := hdl.Library().Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lv
+}
+
+func TestTranslateMatmulToGPUPreservesSemantics(t *testing.T) {
+	prog := mcpl.MustParse(matmulSrc)
+	if _, err := mcpl.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []string{"gpu", "gtx480", "k20", "hd7970", "xeon_phi"} {
+		out, err := Translate(prog, "matmul", level(t, target))
+		if err != nil {
+			t.Fatalf("%s: %v", target, err)
+		}
+		k := out.Kernel("matmul")
+		if k == nil || k.Level != target {
+			t.Fatalf("%s: translated kernel = %+v", target, k)
+		}
+		// Run both versions on the same input; results must agree exactly
+		// (translation reorders nothing within an output element).
+		const n, m, p = 19, 23, 7 // deliberately not multiples of block sizes
+		rng := rand.New(rand.NewSource(3))
+		a := interp.NewFloatArray(n, p)
+		b := interp.NewFloatArray(p, m)
+		for i := range a.F {
+			a.F[i] = rng.Float64()
+		}
+		for i := range b.F {
+			b.F[i] = rng.Float64()
+		}
+		c1 := interp.NewFloatArray(n, m)
+		c2 := interp.NewFloatArray(n, m)
+		if err := interp.Run(prog, "matmul", int64(n), int64(m), int64(p), c1, a, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := interp.Run(out, "matmul", int64(n), int64(m), int64(p), c2, a, b); err != nil {
+			t.Fatalf("%s: translated kernel failed: %v", target, err)
+		}
+		for i := range c1.F {
+			if math.Abs(c1.F[i]-c2.F[i]) > 1e-12 {
+				t.Fatalf("%s: semantics changed at %d: %v vs %v", target, i, c1.F[i], c2.F[i])
+			}
+		}
+	}
+}
+
+func TestTranslateIntroducesBlockDecomposition(t *testing.T) {
+	prog := mcpl.MustParse(matmulSrc)
+	out, err := Translate(prog, "matmul", level(t, "gpu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := out.Kernel("matmul")
+	outer, ok := k.Body.Stmts[0].(*mcpl.Foreach)
+	if !ok || outer.Unit != "blocks" {
+		t.Fatalf("outer = %+v", k.Body.Stmts[0])
+	}
+	inner, ok := outer.Body.Stmts[0].(*mcpl.Foreach)
+	if !ok || inner.Unit != "threads" {
+		t.Fatalf("inner = %+v", outer.Body.Stmts[0])
+	}
+	// 2D nest decomposes with 16x16 work-groups.
+	if lit, ok := inner.Bound.(*mcpl.IntLit); !ok || lit.Value != 16 {
+		t.Fatalf("inner bound = %s", mcpl.ExprString(inner.Bound))
+	}
+}
+
+func TestTranslateXeonPhiUsesCoresVectors(t *testing.T) {
+	prog := mcpl.MustParse(matmulSrc)
+	out, err := Translate(prog, "matmul", level(t, "xeon_phi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := out.Kernel("matmul")
+	outer := k.Body.Stmts[0].(*mcpl.Foreach)
+	if outer.Unit != "cores" {
+		t.Fatalf("outer unit = %s, want cores", outer.Unit)
+	}
+}
+
+func TestTranslateRespectsUnitMax(t *testing.T) {
+	// AMD's threads max is 256 but BlockExtents(1) is 256 too; mic vectors
+	// max is 16, so a 1D kernel on xeon_phi gets 16-wide inner foreach.
+	src := `
+perfect void scale(int n, float[n] a) {
+  foreach (int i in n threads) { a[i] = a[i] * 2.0; }
+}`
+	prog := mcpl.MustParse(src)
+	out, err := Translate(prog, "scale", level(t, "xeon_phi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := out.Kernel("scale")
+	outer := k.Body.Stmts[0].(*mcpl.Foreach)
+	inner := outer.Body.Stmts[0].(*mcpl.Foreach)
+	if lit, ok := inner.Bound.(*mcpl.IntLit); !ok || lit.Value != 16 {
+		t.Fatalf("inner bound = %s, want 16 (vectors max)", mcpl.ExprString(inner.Bound))
+	}
+}
+
+func TestTranslateHigherLevelKernelUnchangedUnits(t *testing.T) {
+	// A kernel already written for gpu keeps blocks/threads when translated
+	// to a leaf below gpu.
+	src := `
+gpu void k(int n, float[n] a) {
+  foreach (int b in n / 256 blocks) {
+    foreach (int t in 256 threads) {
+      a[b * 256 + t] = 1.0;
+    }
+  }
+}`
+	prog := mcpl.MustParse(src)
+	out, err := Translate(prog, "k", level(t, "gtx480"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := out.Kernel("k")
+	if k.Level != "gtx480" {
+		t.Fatalf("level = %s", k.Level)
+	}
+	outer := k.Body.Stmts[0].(*mcpl.Foreach)
+	if outer.Unit != "blocks" {
+		t.Fatalf("unit rewritten to %s", outer.Unit)
+	}
+}
+
+func TestTranslateRejectsNonDescendant(t *testing.T) {
+	src := `
+gpu void k(int n, float[n] a) {
+  foreach (int b in n blocks) { }
+}`
+	prog := mcpl.MustParse(src)
+	if _, err := Translate(prog, "k", level(t, "xeon_phi")); err == nil {
+		t.Fatal("translated gpu kernel to xeon_phi (not a descendant)")
+	}
+	if _, err := Translate(prog, "missing", level(t, "gpu")); err == nil {
+		t.Fatal("translated missing kernel")
+	}
+}
+
+func TestTranslateHelperFunctionsPreserved(t *testing.T) {
+	src := `
+float sq(float x) { return x * x; }
+perfect void k(int n, float[n] a) {
+  foreach (int i in n threads) { a[i] = sq(a[i]); }
+}`
+	prog := mcpl.MustParse(src)
+	out, err := Translate(prog, "k", level(t, "gpu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Func("sq") == nil {
+		t.Fatal("helper dropped by translation")
+	}
+	a := interp.NewFloatArray(5)
+	for i := range a.F {
+		a.F[i] = float64(i)
+	}
+	if err := interp.Run(out, "k", int64(5), a); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(3) != 9 {
+		t.Fatalf("a[3] = %v", a.At(3))
+	}
+}
+
+func TestValidateLevel(t *testing.T) {
+	h := hdl.Library()
+	good := mcpl.MustParse(matmulSrc)
+	if err := ValidateLevel(good, "matmul", h); err != nil {
+		t.Fatal(err)
+	}
+	// `blocks` is not defined at level perfect.
+	bad := mcpl.MustParse(`
+perfect void k(int n, float[n] a) {
+  foreach (int b in n blocks) { }
+}`)
+	err := ValidateLevel(bad, "k", h)
+	if err == nil || !strings.Contains(err.Error(), "blocks") {
+		t.Fatalf("err = %v", err)
+	}
+	// local memory is not defined at level perfect.
+	badMem := mcpl.MustParse(`
+perfect void k(int n, float[n] a) {
+  foreach (int i in n threads) {
+    local float[16] tile;
+    tile[0] = a[i];
+  }
+}`)
+	if err := ValidateLevel(badMem, "k", h); err == nil {
+		t.Fatal("local memory accepted at level perfect")
+	}
+	// ... but is fine at level gpu.
+	okMem := mcpl.MustParse(`
+gpu void k(int n, float[n] a) {
+  foreach (int b in n blocks) {
+    local float[16] tile;
+    foreach (int i in 16 threads) {
+      tile[i] = a[i];
+    }
+  }
+}`)
+	if err := ValidateLevel(okMem, "k", h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockExtents(t *testing.T) {
+	if e := BlockExtents(1); len(e) != 1 || e[0] != 256 {
+		t.Fatalf("1D = %v", e)
+	}
+	if e := BlockExtents(2); len(e) != 2 || e[0] != 16 || e[1] != 16 {
+		t.Fatalf("2D = %v", e)
+	}
+	if e := BlockExtents(3); len(e) != 3 {
+		t.Fatalf("3D = %v", e)
+	}
+}
+
+func TestCloneProgramIndependence(t *testing.T) {
+	prog := mcpl.MustParse(matmulSrc)
+	cl := mcpl.CloneProgram(prog)
+	// Mutate the clone's kernel level and check the original is untouched.
+	cl.Kernel("matmul").Level = "gpu"
+	if prog.Kernel("matmul").Level != "perfect" {
+		t.Fatal("clone aliases original")
+	}
+	fe := cl.Kernel("matmul").Body.Stmts[0].(*mcpl.Foreach)
+	fe.Unit = "blocks"
+	if prog.Kernel("matmul").Body.Stmts[0].(*mcpl.Foreach).Unit != "threads" {
+		t.Fatal("clone body aliases original")
+	}
+}

@@ -1,0 +1,251 @@
+// Package network models a cluster interconnect on top of the simnet
+// discrete-event kernel. The model matches the evaluation platform of the
+// Cashmere paper: the DAS-4 cluster, whose nodes communicate over QDR
+// InfiniBand through a full-bisection fat tree.
+//
+// Every node owns an egress and an ingress link resource. A point-to-point
+// transfer of s bytes holds the sender's egress link and then the receiver's
+// ingress link for s/bandwidth, after a propagation plus software latency.
+// This store-and-forward serialization reproduces the contention effect the
+// paper highlights: once fast many-core devices raise the computation rate,
+// the network becomes the bottleneck ("skewed computation/communication
+// ratio"), which is exactly what limits Matrix Multiplication scaling in
+// Fig. 9/10.
+package network
+
+import (
+	"fmt"
+	"time"
+
+	"cashmere/internal/simnet"
+)
+
+// Config describes the fabric.
+type Config struct {
+	// Latency is the end-to-end small-message latency (hardware plus
+	// communication-software overhead).
+	Latency simnet.Duration
+	// Bandwidth is the per-NIC usable bandwidth in bytes/second.
+	Bandwidth float64
+	// PerMessageCPU is the sender/receiver-side per-message processing cost
+	// (serialization in the Ibis/Satin runtime the paper builds on).
+	PerMessageCPU simnet.Duration
+}
+
+// QDRInfiniBand is the DAS-4 interconnect model: ~1.9 µs MPI-level latency
+// and ~3.2 GB/s usable point-to-point bandwidth, plus a per-message software
+// overhead for the Java-based communication stack Satin runs on.
+func QDRInfiniBand() Config {
+	return Config{
+		Latency:       8 * time.Microsecond,
+		Bandwidth:     3.2e9,
+		PerMessageCPU: 4 * time.Microsecond,
+	}
+}
+
+// GigabitEthernet is a slower fabric used by ablation experiments.
+func GigabitEthernet() Config {
+	return Config{
+		Latency:       60 * time.Microsecond,
+		Bandwidth:     117e6,
+		PerMessageCPU: 10 * time.Microsecond,
+	}
+}
+
+// ControlThreshold is the message size below which a transfer is treated as
+// a control message: it incurs latency and per-message CPU but does not
+// occupy the link resources. This approximates packet interleaving — on a
+// real fabric a 64-byte steal request is not stuck behind a multi-gigabyte
+// bulk transfer, it shares the wire packet by packet.
+const ControlThreshold = 4096
+
+// Message is a payload in flight. Size is the modeled wire size in bytes;
+// Payload is the in-process Go value (never serialized — this is a
+// simulation, not a transport).
+type Message struct {
+	From    int
+	To      int
+	Kind    string
+	Size    int64
+	Payload any
+	SentAt  simnet.Time
+}
+
+// Fabric connects n nodes.
+type Fabric struct {
+	k     *simnet.Kernel
+	cfg   Config
+	nodes []*Endpoint
+
+	// Stats.
+	bytesSent int64
+	msgsSent  int64
+}
+
+// Endpoint is one node's attachment to the fabric.
+type Endpoint struct {
+	f       *Fabric
+	id      int
+	egress  *simnet.Resource
+	ingress *simnet.Resource
+	inbox   *simnet.Chan[Message]
+	dead    bool
+}
+
+// New builds a fabric with n endpoints.
+func New(k *simnet.Kernel, n int, cfg Config) *Fabric {
+	if n <= 0 {
+		panic("network: need at least one node")
+	}
+	if cfg.Bandwidth <= 0 {
+		panic("network: bandwidth must be positive")
+	}
+	f := &Fabric{k: k, cfg: cfg}
+	for i := 0; i < n; i++ {
+		f.nodes = append(f.nodes, &Endpoint{
+			f:       f,
+			id:      i,
+			egress:  simnet.NewResource(k, fmt.Sprintf("net.egress.%d", i), 1),
+			ingress: simnet.NewResource(k, fmt.Sprintf("net.ingress.%d", i), 1),
+			inbox:   simnet.NewChan[Message](k),
+		})
+	}
+	return f
+}
+
+// Endpoint returns node id's endpoint.
+func (f *Fabric) Endpoint(id int) *Endpoint { return f.nodes[id] }
+
+// Size reports the number of endpoints.
+func (f *Fabric) Size() int { return len(f.nodes) }
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// BytesSent reports the total payload bytes injected into the fabric.
+func (f *Fabric) BytesSent() int64 { return f.bytesSent }
+
+// MessagesSent reports the total number of messages injected.
+func (f *Fabric) MessagesSent() int64 { return f.msgsSent }
+
+// TransferTime reports the modeled one-way time for a message of s bytes on
+// an uncontended path: software overhead, egress serialization, propagation
+// latency and ingress serialization. Useful for analytical checks in tests.
+func (f *Fabric) TransferTime(s int64) simnet.Duration {
+	wire := time.Duration(float64(s) / f.cfg.Bandwidth * float64(time.Second))
+	return f.cfg.PerMessageCPU + wire + f.cfg.Latency + wire
+}
+
+// ID reports the endpoint's node id.
+func (e *Endpoint) ID() int { return e.id }
+
+// Kill marks the endpoint dead: subsequent sends to it are dropped and sends
+// from it do nothing. Used by fault-tolerance experiments.
+func (e *Endpoint) Kill() { e.dead = true }
+
+// Alive reports whether the endpoint is alive.
+func (e *Endpoint) Alive() bool { return !e.dead }
+
+// Send transfers a message to node `to`, blocking the calling process for
+// the modeled duration (sender-side occupancy: software overhead plus link
+// serialization). Delivery happens after the propagation latency; the
+// receiver is not blocked until it calls Recv.
+func (e *Endpoint) Send(p *simnet.Proc, to int, kind string, size int64, payload any) {
+	if e.dead {
+		// A dead node cannot transmit; model as silent loss. The caller's
+		// process usually gets cancelled by the failure detector.
+		return
+	}
+	dst := e.f.nodes[to]
+	m := Message{From: e.id, To: to, Kind: kind, Size: size, Payload: payload, SentAt: e.f.k.Now()}
+	e.f.msgsSent++
+	e.f.bytesSent += size
+
+	if to == e.id {
+		// Intra-node delivery: only the software overhead.
+		p.Hold(e.f.cfg.PerMessageCPU)
+		dst.deliver(m)
+		return
+	}
+
+	wire := time.Duration(float64(size) / e.f.cfg.Bandwidth * float64(time.Second))
+	p.Hold(e.f.cfg.PerMessageCPU)
+	lat := e.f.cfg.Latency
+	k := e.f.k
+	if size < ControlThreshold {
+		// Control lane: interleaved with bulk traffic, never queued
+		// behind it.
+		k.Spawn(fmt.Sprintf("net.ctl.%d->%d", e.id, to), func(dp *simnet.Proc) {
+			dp.Hold(lat + wire)
+			dst.deliver(m)
+		})
+		return
+	}
+	e.egress.Use(p, 1, wire)
+	// Propagation and receive-side DMA proceed without occupying the sender.
+	k.Spawn(fmt.Sprintf("net.deliver.%d->%d", e.id, to), func(dp *simnet.Proc) {
+		dp.Hold(lat)
+		dst.ingress.Use(dp, 1, wire)
+		dst.deliver(m)
+	})
+}
+
+func (e *Endpoint) deliver(m Message) {
+	if e.dead {
+		return
+	}
+	e.inbox.Send(m)
+}
+
+// Recv blocks until a message arrives.
+func (e *Endpoint) Recv(p *simnet.Proc) Message {
+	return e.inbox.Recv(p)
+}
+
+// RecvTimeout blocks until a message arrives or d elapses.
+func (e *Endpoint) RecvTimeout(p *simnet.Proc, d simnet.Duration) (Message, bool) {
+	return e.inbox.RecvTimeout(p, d)
+}
+
+// TryRecv returns a queued message without blocking.
+func (e *Endpoint) TryRecv() (Message, bool) {
+	return e.inbox.TryRecv()
+}
+
+// Pending reports the number of queued inbound messages.
+func (e *Endpoint) Pending() int { return e.inbox.Len() }
+
+// Broadcast sends the message from this endpoint to every other live node
+// using a binomial tree rooted at the sender, the standard O(log n) pattern
+// used for Cashmere's master-to-slave runtime-information broadcast and for
+// Satin shared-object updates. The calling process is blocked only for the
+// root's sends; interior forwarding is charged to spawned relay processes.
+func (e *Endpoint) Broadcast(p *simnet.Proc, kind string, size int64, payload any) {
+	n := e.f.Size()
+	if n <= 1 {
+		return
+	}
+	// Relabel nodes so the root is rank 0; rank r sends to r+2^k for each
+	// round k where r < 2^k.
+	var send func(p *simnet.Proc, rank, stride int)
+	send = func(p *simnet.Proc, rank, stride int) {
+		for ; stride < n; stride *= 2 {
+			if rank >= stride {
+				continue
+			}
+			peer := rank + stride
+			if peer >= n {
+				break
+			}
+			peerID := (e.id + peer) % n
+			src := e.f.nodes[(e.id+rank)%n]
+			childStride := stride * 2
+			src.Send(p, peerID, kind, size, payload)
+			// The receiving node forwards further down the tree.
+			e.f.k.Spawn(fmt.Sprintf("net.bcast.relay.%d", peerID), func(rp *simnet.Proc) {
+				send(rp, peer, childStride)
+			})
+		}
+	}
+	send(p, 0, 1)
+}

@@ -1,0 +1,227 @@
+// Package ocl is a simulated OpenCL-style device runtime: the substrate that
+// stands in for the OpenCL implementations Cashmere drives on real hardware.
+//
+// A Device owns three modeled facilities — a compute engine and one or two
+// DMA engines (consumer Fermi boards have a single copy engine; Tesla,
+// Kepler, AMD GCN and Xeon Phi have two) — plus a device-memory allocator.
+// Operations block the calling simnet process for the modeled duration, so
+// when Cashmere's per-job threads issue write/launch/read sequences against
+// the same device concurrently, transfers overlap kernel executions exactly
+// as described in Sec. III-B of the paper ("the data transfers can be
+// completely overlapped with kernel executions except for the first and
+// last").
+package ocl
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cashmere/internal/device"
+	"cashmere/internal/simnet"
+	"cashmere/internal/trace"
+)
+
+// ErrOutOfMemory is returned by Alloc when the device memory is exhausted.
+// Cashmere reacts to kernel-setup failures by running the leaf on the CPU
+// (the catch branch of Fig. 4).
+var ErrOutOfMemory = errors.New("ocl: device out of memory")
+
+// Device is one simulated many-core device installed in a node.
+type Device struct {
+	k      *simnet.Kernel
+	spec   *device.Spec
+	nodeID int
+	index  int // device index within the node
+
+	compute *simnet.Resource
+	h2d     *simnet.Resource
+	d2h     *simnet.Resource
+
+	memUsed    int64
+	memWaiters []*simnet.Chan[struct{}]
+	rec        *trace.Recorder
+
+	kernelBusy  simnet.Time // accumulated kernel-execution time
+	bytesMoved  int64
+	numLaunches int64
+}
+
+// NewDevice creates a device of the given spec installed in node nodeID.
+// rec may be nil to disable tracing.
+func NewDevice(k *simnet.Kernel, spec *device.Spec, nodeID, index int, rec *trace.Recorder) *Device {
+	d := &Device{k: k, spec: spec, nodeID: nodeID, index: index, rec: rec}
+	base := fmt.Sprintf("n%d.%s%d", nodeID, spec.Name, index)
+	d.compute = simnet.NewResource(k, base+".compute", 1)
+	d.h2d = simnet.NewResource(k, base+".h2d", 1)
+	if spec.DMAEngines >= 2 {
+		d.d2h = simnet.NewResource(k, base+".d2h", 1)
+	} else {
+		d.d2h = d.h2d // single copy engine: both directions contend
+	}
+	return d
+}
+
+// Spec returns the device model.
+func (d *Device) Spec() *device.Spec { return d.spec }
+
+// Name returns a unique name within the node, e.g. "gtx480#0".
+func (d *Device) Name() string { return fmt.Sprintf("%s#%d", d.spec.Name, d.index) }
+
+// NodeID reports the node the device is installed in.
+func (d *Device) NodeID() int { return d.nodeID }
+
+// MemUsed reports the allocated device memory in bytes.
+func (d *Device) MemUsed() int64 { return d.memUsed }
+
+// MemFree reports the free device memory in bytes.
+func (d *Device) MemFree() int64 { return d.spec.GlobalMem - d.memUsed }
+
+// KernelBusy reports the total virtual time the compute engine spent
+// executing kernels.
+func (d *Device) KernelBusy() simnet.Duration { return simnet.Duration(d.kernelBusy) }
+
+// BytesMoved reports total PCIe traffic in both directions.
+func (d *Device) BytesMoved() int64 { return d.bytesMoved }
+
+// Launches reports the number of kernel launches.
+func (d *Device) Launches() int64 { return d.numLaunches }
+
+// Buffer is a region of device memory.
+type Buffer struct {
+	dev   *Device
+	size  int64
+	freed bool
+}
+
+// Size reports the buffer size in bytes.
+func (b *Buffer) Size() int64 { return b.size }
+
+// Alloc reserves size bytes of device memory.
+func (d *Device) Alloc(size int64) (*Buffer, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("ocl: negative allocation %d", size)
+	}
+	if d.memUsed+size > d.spec.GlobalMem {
+		return nil, fmt.Errorf("%w: need %d, free %d on %s", ErrOutOfMemory, size, d.MemFree(), d.Name())
+	}
+	d.memUsed += size
+	return &Buffer{dev: d, size: size}, nil
+}
+
+// Free releases the buffer and wakes launches blocked on device memory.
+// Double frees panic: the Cashmere runtime owns buffer lifetimes and a
+// double free there is a bug, not an expected error.
+func (b *Buffer) Free() {
+	if b.freed {
+		panic("ocl: double free")
+	}
+	b.freed = true
+	b.dev.memUsed -= b.size
+	waiters := b.dev.memWaiters
+	b.dev.memWaiters = nil
+	for _, ch := range waiters {
+		ch.Send(struct{}{})
+	}
+}
+
+// AllocBlocking reserves size bytes, blocking the calling process until
+// concurrent launches release enough memory ("Cashmere automatically
+// manages the available memory on a device", Sec. II-C.3). Requests larger
+// than the device fail immediately.
+func (d *Device) AllocBlocking(p *simnet.Proc, size int64) (*Buffer, error) {
+	for {
+		buf, err := d.Alloc(size)
+		if err == nil {
+			return buf, nil
+		}
+		if size > d.spec.GlobalMem || size < 0 {
+			return nil, err
+		}
+		ch := simnet.NewChan[struct{}](d.k)
+		d.memWaiters = append(d.memWaiters, ch)
+		ch.Recv(p)
+	}
+}
+
+func (d *Device) span(q string, kind trace.Kind, label string, start simnet.Time) {
+	d.rec.Add(trace.Span{
+		Node:  d.nodeID,
+		Queue: q,
+		Kind:  kind,
+		Label: label,
+		Start: start,
+		End:   d.k.Now(),
+	})
+}
+
+// Write moves the buffer's bytes host-to-device, blocking p for the modeled
+// transfer time (queueing on the H2D DMA engine included).
+func (d *Device) Write(p *simnet.Proc, b *Buffer, label string) {
+	d.transfer(p, d.h2d, trace.KindH2D, b.size, label)
+}
+
+// Read moves the buffer's bytes device-to-host.
+func (d *Device) Read(p *simnet.Proc, b *Buffer, label string) {
+	d.transfer(p, d.d2h, trace.KindD2H, b.size, label)
+}
+
+// WriteBytes transfers n raw bytes host-to-device without a buffer object
+// (used for small parameter blocks).
+func (d *Device) WriteBytes(p *simnet.Proc, n int64, label string) {
+	d.transfer(p, d.h2d, trace.KindH2D, n, label)
+}
+
+// ReadBytes transfers n raw bytes device-to-host.
+func (d *Device) ReadBytes(p *simnet.Proc, n int64, label string) {
+	d.transfer(p, d.d2h, trace.KindD2H, n, label)
+}
+
+func (d *Device) transfer(p *simnet.Proc, eng *simnet.Resource, kind trace.Kind, n int64, label string) {
+	eng.Acquire(p, 1)
+	start := d.k.Now()
+	p.Hold(d.spec.TransferTime(n))
+	d.bytesMoved += n
+	lane := d.Name() + ".xfer"
+	if d.spec.DMAEngines >= 2 && kind == trace.KindD2H {
+		lane = d.Name() + ".xfer2"
+	}
+	d.span(lane, kind, label, start)
+	eng.Release(1)
+}
+
+// Launch executes a kernel with the given cost descriptor, blocking p until
+// the kernel completes. It returns the pure execution time (excluding
+// compute-engine queueing), which Cashmere's intra-node scheduler records as
+// the measured kernel time for that device.
+func (d *Device) Launch(p *simnet.Proc, cost device.KernelCost, label string) time.Duration {
+	d.compute.Acquire(p, 1)
+	start := d.k.Now()
+	t := d.spec.KernelTime(cost)
+	p.Hold(t)
+	d.numLaunches++
+	d.kernelBusy += simnet.Time(t)
+	d.span(d.Name()+".kern", trace.KindKernel, label, start)
+	d.compute.Release(1)
+	return t
+}
+
+// Node is the set of devices installed in one compute node.
+type Node struct {
+	ID      int
+	Devices []*Device
+}
+
+// NewNode builds a node's device set from catalog names. Unknown names
+// return an error; an empty list is valid (a CPU-only Satin node).
+func NewNode(k *simnet.Kernel, nodeID int, rec *trace.Recorder, deviceNames ...string) (*Node, error) {
+	n := &Node{ID: nodeID}
+	for i, name := range deviceNames {
+		spec, err := device.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		n.Devices = append(n.Devices, NewDevice(k, spec, nodeID, i, rec))
+	}
+	return n, nil
+}

@@ -1,0 +1,134 @@
+package satin
+
+import (
+	"fmt"
+
+	"cashmere/internal/simnet"
+	"cashmere/internal/trace"
+)
+
+// Context is the execution frame of a spawnable function: it tracks the
+// frame's spawned children (for sync) and whether the frame runs in
+// many-core mode (Sec. II-C.2 of the paper).
+type Context struct {
+	p        *simnet.Proc
+	node     *Node
+	workerID int
+	manyCore bool
+	children []*Job
+}
+
+// Proc returns the simulation process executing this frame; applications
+// use it to charge modeled time and to drive the device runtime.
+func (c *Context) Proc() *simnet.Proc { return c.p }
+
+// NodeID reports the cluster node executing this frame.
+func (c *Context) NodeID() int { return c.node.ID }
+
+// Node returns the executing node.
+func (c *Context) Node() *Node { return c.node }
+
+// Runtime returns the runtime.
+func (c *Context) Runtime() *Runtime { return c.node.rt }
+
+// ManyCore reports whether many-core spawn mode is enabled for this frame.
+func (c *Context) ManyCore() bool { return c.manyCore }
+
+// EnableManyCore switches this frame (and the frames of its children) to
+// many-core mode: subsequent spawnable functions no longer generate jobs
+// that other compute nodes can steal; instead each spawn creates a thread on
+// this node, expressing parallelism across the node's many-core devices with
+// the same divide-and-conquer constructs (Sec. II-C.2).
+func (c *Context) EnableManyCore() { c.manyCore = true }
+
+// Compute occupies the worker for d of modeled CPU time, recording a trace
+// span. Applications use it for CPU leaf computations.
+func (c *Context) Compute(d simnet.Duration, label string) {
+	start := c.p.Now()
+	c.p.Hold(d)
+	c.node.rt.rec.Add(trace.Span{
+		Node: c.node.ID, Queue: fmt.Sprintf("q%d", 1+c.workerID%3), Kind: trace.KindCPU,
+		Label: label, Start: start, End: c.p.Now(),
+	})
+}
+
+// Spawn submits fn for asynchronous execution and returns its promise. In
+// normal mode the job goes on the local deque, where this node's workers or
+// remote thieves pick it up. In many-core mode the job runs on a fresh
+// thread of this node, concurrently in virtual time with its siblings.
+func (c *Context) Spawn(desc JobDesc, fn func(ctx *Context) any) *Promise {
+	rt := c.node.rt
+	rt.JobsSpawned++
+	rt.nextJob++
+	job := &Job{
+		ID:     rt.nextJob,
+		Desc:   desc,
+		fn:     fn,
+		owner:  c.node.ID,
+		result: simnet.NewFuture[any](rt.k),
+	}
+	c.children = append(c.children, job)
+	c.p.Hold(rt.cfg.SpawnOverhead)
+	if c.manyCore {
+		node := c.node
+		rt.k.Spawn(fmt.Sprintf("satin.mc.%d.%d", node.ID, job.ID), func(p *simnet.Proc) {
+			ctx := &Context{p: p, node: node, workerID: c.workerID, manyCore: true}
+			v := job.fn(ctx)
+			if !job.result.Done() {
+				job.result.Complete(v)
+			}
+		})
+		return &Promise{job: job}
+	}
+	c.node.deque = append(c.node.deque, job)
+	return &Promise{job: job}
+}
+
+// Sync blocks until every child spawned by this frame has completed. While
+// blocked (in normal mode) the worker helps: it runs local jobs and steals
+// from random victims, which is what lets a single blocked parent keep a
+// whole cluster busy.
+func (c *Context) Sync() {
+	rt := c.node.rt
+	backoff := rt.cfg.StealBackoff
+	for {
+		if c.node.dead {
+			// The node crashed under this frame. Abandon: whoever spawned
+			// the enclosing job re-executes it on a live node (Satin's
+			// fault-tolerance model), so nothing here matters any more.
+			return
+		}
+		var waitFor *Job
+		for _, j := range c.children {
+			if !j.result.Done() {
+				waitFor = j
+				break
+			}
+		}
+		if waitFor == nil {
+			break
+		}
+		if c.manyCore {
+			// Children are local threads; wait for the first incomplete one.
+			waitFor.result.Await(c.p)
+			continue
+		}
+		if job := c.node.popLocal(); job != nil {
+			c.node.runJob(c.p, c.workerID, job)
+			backoff = rt.cfg.StealBackoff
+			continue
+		}
+		if job := c.node.trySteal(c.p, c.workerID+1000); job != nil {
+			c.node.runJob(c.p, c.workerID, job)
+			backoff = rt.cfg.StealBackoff
+			continue
+		}
+		// Nothing to help with: sleep until the child completes, but wake
+		// periodically to retry stealing (exponential backoff keeps event
+		// volume bounded during long remote leaves).
+		if _, ok := waitFor.result.AwaitTimeout(c.p, backoff); !ok && backoff < 8*rt.cfg.MaxIdleBackoff {
+			backoff *= 2
+		}
+	}
+	c.children = c.children[:0]
+}

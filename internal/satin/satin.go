@@ -1,0 +1,474 @@
+// Package satin reimplements the Satin divide-and-conquer runtime that
+// Cashmere builds on (van Nieuwpoort et al., TOPLAS 2010): spawnable
+// functions, sync, random work-stealing across cluster nodes, latency
+// hiding, crash fault tolerance through job re-execution, and replicated
+// shared objects.
+//
+// The runtime executes inside the simnet discrete-event kernel: every worker
+// is a simulation process, steal messages travel over the network model, and
+// leaf computations charge modeled time — so cluster-scale behaviour
+// (speedup curves, communication bottlenecks) is reproduced faithfully while
+// the Go closures of the application still execute for real.
+//
+// Spawn semantics follow Satin's help-first (child-stealing) model: a spawn
+// pushes an invocation record on the local deque and the parent continues;
+// sync runs or waits for the children, helping with local work and stealing
+// while blocked. Local pops take the newest job (depth-first, cache
+// friendly); steals take the oldest (largest subtree, minimizing steal
+// rate).
+package satin
+
+import (
+	"fmt"
+	"time"
+
+	"cashmere/internal/network"
+	"cashmere/internal/simnet"
+	"cashmere/internal/trace"
+)
+
+// Config tunes the runtime.
+type Config struct {
+	// WorkersPerNode is the number of CPU workers per node. Satin runs
+	// 8 (one per core of the dual quad-core DAS-4 nodes); Cashmere runs 1
+	// plus device threads, because one leaf already fills a device.
+	WorkersPerNode int
+	// SpawnOverhead is the CPU cost of creating an invocation record.
+	SpawnOverhead simnet.Duration
+	// StealBackoff is the idle wait after a failed steal attempt.
+	StealBackoff simnet.Duration
+	// StealTimeout bounds the wait for a steal reply.
+	StealTimeout simnet.Duration
+	// StealOldest selects the steal end of the deque: true (Satin's choice)
+	// steals the oldest, largest job; false steals the newest. Exposed for
+	// the ablation benchmark.
+	StealOldest bool
+	// StealAttempts is the number of random victims probed per steal round
+	// before the thief backs off.
+	StealAttempts int
+	// MaxIdleBackoff caps the exponential idle backoff. Pick it well below
+	// the leaf duration: Satin's multi-second CPU leaves tolerate tens of
+	// milliseconds, Cashmere's fast kernels want ~1ms for quick job
+	// discovery after iteration barriers.
+	MaxIdleBackoff simnet.Duration
+}
+
+// DefaultConfig returns the configuration used by the paper reproduction
+// runs.
+func DefaultConfig() Config {
+	return Config{
+		WorkersPerNode: 8,
+		SpawnOverhead:  2 * time.Microsecond,
+		StealBackoff:   30 * time.Microsecond,
+		StealTimeout:   2 * time.Millisecond,
+		StealOldest:    true,
+		StealAttempts:  4,
+		MaxIdleBackoff: 50 * time.Millisecond,
+	}
+}
+
+// Job is one invocation record.
+type Job struct {
+	ID     uint64
+	Desc   JobDesc
+	fn     func(ctx *Context) any
+	result *simnet.Future[any]
+	owner  int // node that spawned the job (where the future lives)
+}
+
+// JobDesc declares the modeled data sizes of a job, charged when the job or
+// its result crosses the network.
+type JobDesc struct {
+	Name        string
+	InputBytes  int64
+	ResultBytes int64
+}
+
+// Promise is the handle returned by Spawn; Value is valid after Sync.
+type Promise struct {
+	job *Job
+}
+
+// Value returns the job's result. It panics if called before the owning
+// frame's Sync completed, mirroring Satin's rule that spawn results are
+// undefined before sync.
+func (p *Promise) Value() any {
+	v, ok := p.job.result.Peek()
+	if !ok {
+		panic("satin: Promise.Value before sync (result not available)")
+	}
+	return v
+}
+
+// Runtime is a Satin execution over a set of cluster nodes.
+type Runtime struct {
+	k      *simnet.Kernel
+	fabric *network.Fabric
+	cfg    Config
+	nodes  []*Node
+	rec    *trace.Recorder
+
+	nextJob uint64
+	done    bool
+	result  any
+
+	shared []*SharedObject
+
+	// Stats.
+	JobsExecuted   int64
+	JobsSpawned    int64
+	StealsOK       int64
+	StealsFailed   int64
+	JobsReExecuted int64
+}
+
+// Node is one cluster node's runtime state.
+type Node struct {
+	ID  int
+	rt  *Runtime
+	ep  *network.Endpoint
+	dev any // opaque slot for the Cashmere layer (device scheduler)
+
+	deque        []*Job
+	pendingSteal map[int]*simnet.Chan[*Job]
+	outstanding  map[uint64]outRec // jobs stolen from us, by job ID
+	dead         bool
+}
+
+type outRec struct {
+	job   *Job
+	thief int
+}
+
+// New creates a runtime over n nodes with the given fabric configuration.
+// Node 0 is the master.
+func New(k *simnet.Kernel, n int, netCfg network.Config, cfg Config, rec *trace.Recorder) *Runtime {
+	if cfg.WorkersPerNode <= 0 {
+		cfg.WorkersPerNode = 1
+	}
+	if cfg.MaxIdleBackoff <= 0 {
+		cfg.MaxIdleBackoff = 50 * time.Millisecond
+	}
+	rt := &Runtime{
+		k:      k,
+		fabric: network.New(k, n, netCfg),
+		cfg:    cfg,
+		rec:    rec,
+	}
+	for i := 0; i < n; i++ {
+		rt.nodes = append(rt.nodes, &Node{
+			ID:           i,
+			rt:           rt,
+			ep:           rt.fabric.Endpoint(i),
+			pendingSteal: map[int]*simnet.Chan[*Job]{},
+			outstanding:  map[uint64]outRec{},
+		})
+	}
+	return rt
+}
+
+// Kernel returns the simulation kernel.
+func (rt *Runtime) Kernel() *simnet.Kernel { return rt.k }
+
+// Fabric returns the network fabric.
+func (rt *Runtime) Fabric() *network.Fabric { return rt.fabric }
+
+// Recorder returns the trace recorder (may be nil).
+func (rt *Runtime) Recorder() *trace.Recorder { return rt.rec }
+
+// Nodes reports the number of nodes.
+func (rt *Runtime) Nodes() int { return len(rt.nodes) }
+
+// Node returns node i.
+func (rt *Runtime) Node(i int) *Node { return rt.nodes[i] }
+
+// SetDeviceState attaches opaque per-node state (used by the Cashmere layer
+// for its device scheduler).
+func (n *Node) SetDeviceState(v any) { n.dev = v }
+
+// DeviceState returns the state attached with SetDeviceState.
+func (n *Node) DeviceState() any { return n.dev }
+
+// Alive reports whether the node has not been killed.
+func (n *Node) Alive() bool { return !n.dead }
+
+// QueueLen reports the deque length (for tests).
+func (n *Node) QueueLen() int { return len(n.deque) }
+
+// Run executes main as the root job on the master node and runs the
+// simulation to completion. It returns main's result and the virtual time
+// taken.
+func (rt *Runtime) Run(main func(ctx *Context) any) (any, simnet.Time) {
+	for _, n := range rt.nodes {
+		n := n
+		rt.k.Spawn(fmt.Sprintf("satin.comm.%d", n.ID), func(p *simnet.Proc) { n.commLoop(p) })
+		for w := 0; w < rt.cfg.WorkersPerNode; w++ {
+			w := w
+			if n.ID == 0 && w == 0 {
+				continue // worker 0 of the master runs main
+			}
+			rt.k.Spawn(fmt.Sprintf("satin.worker.%d.%d", n.ID, w), func(p *simnet.Proc) {
+				n.workerLoop(p, w)
+			})
+		}
+	}
+	var finished simnet.Time
+	rt.k.Spawn("satin.main", func(p *simnet.Proc) {
+		ctx := &Context{p: p, node: rt.nodes[0], workerID: 0}
+		rt.result = main(ctx)
+		rt.done = true
+		finished = p.Now()
+		// Tell every comm loop to shut down.
+		rt.nodes[0].ep.Broadcast(p, "shutdown", 64, nil)
+	})
+	// Drain remaining events (idle workers noticing done, comm shutdown);
+	// the reported completion time is when main returned.
+	rt.k.Run(0)
+	return rt.result, finished
+}
+
+// workerLoop is the top-level scheduling loop of an idle worker: run local
+// work, otherwise steal from a random victim, backing off exponentially
+// while the whole cluster is busy.
+func (n *Node) workerLoop(p *simnet.Proc, id int) {
+	maxBackoff := n.rt.cfg.MaxIdleBackoff
+	backoff := n.rt.cfg.StealBackoff
+	for !n.rt.done && !n.dead {
+		if job := n.popLocal(); job != nil {
+			n.runJob(p, id, job)
+			backoff = n.rt.cfg.StealBackoff
+			continue
+		}
+		if job := n.trySteal(p, id); job != nil {
+			n.runJob(p, id, job)
+			backoff = n.rt.cfg.StealBackoff
+			continue
+		}
+		p.Hold(backoff)
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+	}
+}
+
+// popLocal takes the newest local job (depth-first execution order).
+func (n *Node) popLocal() *Job {
+	if len(n.deque) == 0 {
+		return nil
+	}
+	j := n.deque[len(n.deque)-1]
+	n.deque = n.deque[:len(n.deque)-1]
+	return j
+}
+
+// popSteal takes a job for a thief: the oldest (largest) by default.
+func (n *Node) popSteal() *Job {
+	if len(n.deque) == 0 {
+		return nil
+	}
+	if n.rt.cfg.StealOldest {
+		j := n.deque[0]
+		n.deque = n.deque[1:]
+		return j
+	}
+	return n.popLocal()
+}
+
+// trySteal performs one steal round: up to StealAttempts random victims are
+// probed sequentially. Returns the stolen job or nil.
+func (n *Node) trySteal(p *simnet.Proc, workerID int) *Job {
+	rt := n.rt
+	if len(rt.nodes) <= 1 {
+		return nil
+	}
+	attempts := rt.cfg.StealAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for a := 0; a < attempts; a++ {
+		victim := rt.victim(n.ID)
+		if victim < 0 {
+			return nil
+		}
+		reply := simnet.NewChan[*Job](rt.k)
+		key := workerID
+		n.pendingSteal[key] = reply
+		n.ep.Send(p, victim, "steal_request", 64, stealReq{Thief: n.ID, Worker: key})
+		// Phase 1: wait briefly for the grant/denial (a tiny message).
+		job, ok := reply.RecvTimeout(p, rt.cfg.StealTimeout)
+		if ok && job == jobGranted {
+			// Phase 2: the job's input data is in flight; it may be
+			// arbitrarily large, so wait for as long as the transfer takes.
+			job, ok = reply.RecvTimeout(p, dataTimeout)
+		}
+		delete(n.pendingSteal, key)
+		// A straggler from an earlier timed-out probe may have queued
+		// another value behind the one just taken; never abandon a job in
+		// the reply channel.
+		for {
+			extra, more := reply.TryRecv()
+			if !more {
+				break
+			}
+			if extra != nil && extra != jobGranted {
+				n.deque = append(n.deque, extra)
+			}
+		}
+		if ok && job != nil && job != jobGranted {
+			rt.StealsOK++
+			return job
+		}
+		rt.StealsFailed++
+	}
+	return nil
+}
+
+// victim picks a random live node other than self.
+func (rt *Runtime) victim(self int) int {
+	alive := make([]int, 0, len(rt.nodes))
+	for _, n := range rt.nodes {
+		if n.ID != self && !n.dead {
+			alive = append(alive, n.ID)
+		}
+	}
+	if len(alive) == 0 {
+		return -1
+	}
+	return alive[rt.k.Rand().Intn(len(alive))]
+}
+
+type stealReq struct {
+	Thief  int
+	Worker int
+}
+
+type stealReply struct {
+	Worker int
+	Job    *Job
+}
+
+// jobGranted is the sentinel grant message of the two-phase steal protocol.
+var jobGranted = &Job{}
+
+// dataTimeout bounds the wait for a granted job's input transfer. It only
+// guards against pathological congestion; normal transfers always finish.
+const dataTimeout = 120 * time.Second
+
+type resultMsg struct {
+	JobID uint64
+	Value any
+}
+
+// commLoop services the node's inbox: steal requests and replies, results
+// for jobs stolen from this node, shared-object updates, and shutdown.
+func (n *Node) commLoop(p *simnet.Proc) {
+	for {
+		m, ok := n.ep.RecvTimeout(p, 250*time.Millisecond)
+		if !ok {
+			if n.rt.done || n.dead {
+				return
+			}
+			continue
+		}
+		switch m.Kind {
+		case "shutdown":
+			return
+		case "steal_request":
+			req := m.Payload.(stealReq)
+			job := n.popSteal()
+			if job == nil {
+				n.ep.Send(p, req.Thief, "steal_reply", 64, stealReply{Worker: req.Worker, Job: nil})
+				continue
+			}
+			n.outstanding[job.ID] = outRec{job: job, thief: req.Thief}
+			n.span(trace.KindSteal, "stolen:"+job.Desc.Name, p.Now())
+			// Two-phase reply: a tiny grant immediately, then the job with
+			// its input data from a separate sender process, so a large
+			// transfer neither blocks the comm loop nor races the thief's
+			// grant timeout.
+			n.ep.Send(p, req.Thief, "steal_reply", 64, stealReply{Worker: req.Worker, Job: jobGranted})
+			ep, thief, worker := n.ep, req.Thief, req.Worker
+			n.rt.k.Spawn(fmt.Sprintf("satin.xfer.%d->%d", n.ID, thief), func(sp *simnet.Proc) {
+				ep.Send(sp, thief, "steal_reply", job.Desc.InputBytes, stealReply{Worker: worker, Job: job})
+			})
+		case "steal_reply":
+			rep := m.Payload.(stealReply)
+			if ch, ok := n.pendingSteal[rep.Worker]; ok {
+				ch.Send(rep.Job)
+			} else if rep.Job != nil && rep.Job != jobGranted {
+				// The worker gave up waiting; keep the job rather than lose it.
+				n.deque = append(n.deque, rep.Job)
+			}
+		case "result":
+			res := m.Payload.(resultMsg)
+			if rec, ok := n.outstanding[res.JobID]; ok {
+				delete(n.outstanding, res.JobID)
+				if !rec.job.result.Done() {
+					rec.job.result.Complete(res.Value)
+				}
+			}
+		case "shared_update":
+			up := m.Payload.(sharedUpdate)
+			n.rt.shared[up.Index].applyLocal(n.ID, up.Args)
+		}
+	}
+}
+
+func (n *Node) span(kind trace.Kind, label string, start simnet.Time) {
+	n.rt.rec.Add(trace.Span{
+		Node: n.ID, Queue: "q0", Kind: kind, Label: label,
+		Start: start, End: n.rt.k.Now(),
+	})
+}
+
+// runJob executes a job on this node (as its own frame) and delivers the
+// result: locally by completing the future, or over the network if the job
+// was stolen from another node.
+func (n *Node) runJob(p *simnet.Proc, workerID int, job *Job) {
+	rt := n.rt
+	rt.JobsExecuted++
+	ctx := &Context{p: p, node: n, workerID: workerID}
+	v := job.fn(ctx)
+	if job.owner == n.ID {
+		if !job.result.Done() {
+			job.result.Complete(v)
+		}
+		return
+	}
+	n.ep.Send(p, job.owner, "result", job.Desc.ResultBytes, resultMsg{JobID: job.ID, Value: v})
+}
+
+// Kill crashes a node: its endpoint drops traffic, its workers stop, and
+// jobs it had stolen are re-queued for re-execution on their owners —
+// Satin's fault-tolerance mechanism.
+func (rt *Runtime) Kill(id int) {
+	if id == 0 {
+		panic("satin: cannot kill the master in this reproduction")
+	}
+	victim := rt.nodes[id]
+	victim.dead = true
+	victim.ep.Kill()
+	// Jobs the victim had stolen are re-executed by their owners.
+	for _, n := range rt.nodes {
+		if n.dead {
+			continue
+		}
+		for jid, rec := range n.outstanding {
+			if rec.thief == id {
+				delete(n.outstanding, jid)
+				n.deque = append(n.deque, rec.job)
+				rt.JobsReExecuted++
+			}
+		}
+	}
+	// Jobs queued on the victim that belong to live owners (a timed-out
+	// steal returned them there) go back to their owners; the victim's own
+	// jobs die with the frames that spawned them.
+	for _, job := range victim.deque {
+		if owner := rt.nodes[job.owner]; job.owner != id && !owner.dead {
+			owner.deque = append(owner.deque, job)
+			rt.JobsReExecuted++
+		}
+	}
+	victim.deque = nil
+}

@@ -1,0 +1,74 @@
+package satin
+
+import (
+	"testing"
+	"time"
+
+	"cashmere/internal/network"
+	"cashmere/internal/simnet"
+)
+
+// TestLargeJobStealSurvivesGrantPhase checks the two-phase steal protocol:
+// a job with a multi-hundred-megabyte input takes far longer to transfer
+// than the grant timeout, yet the thief must receive and run it exactly
+// once (no bounce, no duplicate transfer).
+func TestLargeJobStealSurvivesGrantPhase(t *testing.T) {
+	k := simnet.NewKernel(3)
+	cfg := DefaultConfig()
+	cfg.WorkersPerNode = 1
+	rt := New(k, 2, network.QDRInfiniBand(), cfg, nil)
+	const inputBytes = 800 << 20 // ~250ms of wire, >> StealTimeout
+	ran := 0
+	v, _ := rt.Run(func(ctx *Context) any {
+		p := ctx.Spawn(JobDesc{Name: "big", InputBytes: inputBytes, ResultBytes: 64},
+			func(c *Context) any {
+				ran++
+				c.Proc().Hold(time.Millisecond)
+				return c.NodeID()
+			})
+		// Keep the master busy so node 1 steals the job.
+		ctx.Proc().Hold(500 * time.Millisecond)
+		ctx.Sync()
+		return p.Value()
+	})
+	if ran != 1 {
+		t.Fatalf("job ran %d times, want exactly once", ran)
+	}
+	if v.(int) != 1 {
+		t.Fatalf("job ran on node %v, want stolen by node 1", v)
+	}
+	if rt.StealsOK != 1 {
+		t.Fatalf("StealsOK = %d", rt.StealsOK)
+	}
+	// The input must have crossed the wire exactly once (plus control
+	// messages): total fabric traffic stays well under 2x the input.
+	if got := rt.Fabric().BytesSent(); got > inputBytes*3/2 {
+		t.Fatalf("fabric moved %d bytes for a %d byte job (duplicated transfer?)", got, inputBytes)
+	}
+}
+
+// TestNoJobsLostUnderChurn floods a small cluster with many tiny jobs and
+// checks the spawn/execute accounting balances — the regression test for
+// the late-steal-reply job-loss bug.
+func TestNoJobsLostUnderChurn(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		k := simnet.NewKernel(seed)
+		cfg := DefaultConfig()
+		cfg.StealTimeout = 50 * time.Microsecond // aggressive: force timeout races
+		rt := New(k, 4, network.QDRInfiniBand(), cfg, nil)
+		v, _ := rt.Run(func(ctx *Context) any {
+			return divideAndCompute(ctx, 200, 100*time.Microsecond)
+		})
+		if v.(int) != 200 {
+			t.Fatalf("seed %d: completed %v/200 leaves (job lost)", seed, v)
+		}
+	}
+}
+
+// TestGrantSentinelNeverEscapes ensures the internal grant marker is not
+// observable as a runnable job.
+func TestGrantSentinelNeverEscapes(t *testing.T) {
+	if jobGranted.fn != nil || jobGranted.Desc.Name != "" {
+		t.Fatal("grant sentinel must be inert")
+	}
+}

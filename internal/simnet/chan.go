@@ -1,0 +1,98 @@
+package simnet
+
+// Chan is an unbounded FIFO message queue between simulation processes.
+// Sends never block; receives block the calling process in virtual time
+// until a value is available. Values are delivered in send order and waiting
+// receivers are served in arrival order.
+//
+// Chan models zero-latency in-memory queues: transport delays belong to the
+// network and PCIe models, which Hold for the modeled duration before
+// delivering into a Chan.
+type Chan[T any] struct {
+	k       *Kernel
+	buf     []T
+	waiters []chanWaiter
+}
+
+type chanWaiter struct {
+	p     *Proc
+	epoch uint64
+}
+
+// NewChan returns an empty channel bound to k.
+func NewChan[T any](k *Kernel) *Chan[T] {
+	return &Chan[T]{k: k}
+}
+
+// Len reports the number of queued values.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Send enqueues v and wakes the longest-waiting receiver, if any. It may be
+// called from any running process (or before Run starts).
+func (c *Chan[T]) Send(v T) {
+	c.buf = append(c.buf, v)
+	if len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		c.k.post(c.k.now, w.p, w.epoch)
+	}
+}
+
+// Recv blocks p until a value is available and returns it.
+func (c *Chan[T]) Recv(p *Proc) T {
+	v, _ := c.recv(p, -1)
+	return v
+}
+
+// TryRecv returns a queued value without blocking. ok is false if the
+// channel is empty.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	if len(c.buf) == 0 {
+		return v, false
+	}
+	v = c.buf[0]
+	c.buf = c.buf[1:]
+	return v, true
+}
+
+// RecvTimeout blocks p until a value is available or until d has elapsed.
+// ok is false on timeout.
+func (c *Chan[T]) RecvTimeout(p *Proc, d Duration) (v T, ok bool) {
+	return c.recv(p, d)
+}
+
+func (c *Chan[T]) recv(p *Proc, timeout Duration) (v T, ok bool) {
+	var deadline Time
+	if timeout >= 0 {
+		deadline = c.k.now.Add(timeout)
+	}
+	for len(c.buf) == 0 {
+		if timeout >= 0 && c.k.now >= deadline {
+			c.removeWaiter(p)
+			return v, false
+		}
+		c.waiters = append(c.waiters, chanWaiter{p: p, epoch: p.epoch})
+		if timeout >= 0 {
+			// Schedule a timeout wake against the same park epoch; if a
+			// send wins the race the timeout event is stale and ignored.
+			c.k.post(deadline, p, p.epoch)
+		}
+		p.park()
+		// Woken either by a send or by the timeout; in both cases we may no
+		// longer be in the waiter list (the send removed us) or we may still
+		// be listed (timeout fired first). Drop any stale entry for us.
+		c.removeWaiter(p)
+	}
+	v = c.buf[0]
+	c.buf = c.buf[1:]
+	return v, true
+}
+
+func (c *Chan[T]) removeWaiter(p *Proc) {
+	for i, w := range c.waiters {
+		if w.p == p {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}

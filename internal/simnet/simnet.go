@@ -1,0 +1,252 @@
+// Package simnet provides a process-oriented discrete-event simulation
+// kernel. It is the substrate on which the Cashmere reproduction models a
+// cluster: Satin workers, network links, PCIe engines and many-core devices
+// all run as cooperative processes over a shared virtual clock.
+//
+// The design follows the classic process-interaction style (as in SimPy or
+// SSF): every simulated activity is a goroutine bound to a Proc, but at most
+// one process runs at a time. The kernel hands a "token" to the process that
+// owns the earliest pending event; the process runs until it blocks on a
+// virtual-time primitive (Hold, Chan.Recv, Resource.Acquire, Future.Await)
+// and then returns the token. Events with equal timestamps fire in creation
+// order (a monotonically increasing sequence number breaks ties), so a given
+// program and seed always produce the same trajectory.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time. It aliases time.Duration so the
+// standard constants (time.Microsecond etc.) can be used directly.
+type Duration = time.Duration
+
+// String formats a Time using the standard duration notation.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Seconds reports the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// event is a scheduled resumption of a process. Events never carry work
+// themselves; all simulation logic runs inside processes.
+type event struct {
+	t     Time
+	seq   uint64
+	p     *Proc
+	epoch uint64 // park epoch the event is allowed to wake
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation kernel. The zero value is not usable;
+// create one with NewKernel.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	pq      eventHeap
+	yield   chan struct{}
+	alive   int
+	running bool
+	rng     *rand.Rand
+	procSeq int
+}
+
+// NewKernel returns a kernel with its clock at zero. The seed initializes the
+// kernel-owned random source returned by Rand.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source. It must only be
+// used from simulation processes (which are serialized), never from outside
+// Run.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Proc is a simulation process: a goroutine that runs simulation logic in
+// direct style, blocking on virtual-time primitives.
+type Proc struct {
+	k      *Kernel
+	name   string
+	id     int
+	resume chan struct{}
+	done   bool
+	epoch  uint64 // incremented on every park; stale wake events are ignored
+	parked bool
+}
+
+// Name reports the name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// ID reports a small unique integer identifying the process.
+func (p *Proc) ID() int { return p.id }
+
+// Kernel returns the kernel the process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// DebugCounts, when non-nil, tallies posted events by process name.
+var DebugCounts map[string]int64
+
+// post schedules a wake event for p at time t against the given park epoch.
+func (k *Kernel) post(t Time, p *Proc, epoch uint64) {
+	if DebugCounts != nil {
+		DebugCounts[p.name]++
+	}
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.pq, event{t: t, seq: k.seq, p: p, epoch: epoch})
+}
+
+// Spawn creates a process executing fn and schedules it to start at the
+// current virtual time. It may be called before Run or from inside a running
+// process.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	return k.SpawnAt(k.now, name, fn)
+}
+
+// SpawnAt creates a process executing fn and schedules it to start at time t
+// (or now, if t is in the past).
+func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	k.procSeq++
+	p := &Proc{k: k, name: name, id: k.procSeq, resume: make(chan struct{})}
+	k.alive++
+	p.parked = true // the initial start event wakes it
+	go func() {
+		<-p.resume
+		fn(p)
+		p.done = true
+		k.alive--
+		k.yield <- struct{}{}
+	}()
+	k.post(t, p, p.epoch)
+	return p
+}
+
+// park yields the token to the kernel and blocks until a wake event targeted
+// at the current epoch fires.
+func (p *Proc) park() {
+	p.parked = true
+	p.k.yield <- struct{}{}
+	<-p.resume
+}
+
+// wakeAt schedules a resumption of p at time t, provided p has not been
+// woken since the call to park that the caller observed. Safe to call
+// multiple times; the first event to fire wins and later ones are ignored.
+func (p *Proc) wakeAt(t Time) {
+	p.k.post(t, p, p.epoch)
+}
+
+// Hold advances the process's local time by d: the process sleeps in virtual
+// time while other processes run.
+func (p *Proc) Hold(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.post(p.k.now.Add(d), p, p.epoch)
+	p.park()
+}
+
+// HoldUntil sleeps until the virtual clock reaches t. If t is in the past it
+// yields and returns at the current time.
+func (p *Proc) HoldUntil(t Time) {
+	p.k.post(t, p, p.epoch)
+	p.park()
+}
+
+// Yield gives other processes scheduled at the current instant a chance to
+// run before continuing.
+func (p *Proc) Yield() { p.Hold(0) }
+
+// Run executes the simulation until no events remain or until limit is
+// reached (limit <= 0 means no limit). It returns the final virtual time.
+// Processes still blocked on channels or resources when the event queue
+// drains are left parked; Stats can be used to detect unexpected deadlock.
+func (k *Kernel) Run(limit Time) Time {
+	if k.running {
+		panic("simnet: Run called reentrantly")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for len(k.pq) > 0 {
+		e := heap.Pop(&k.pq).(event)
+		if limit > 0 && e.t > limit {
+			// Push back so a later Run can continue.
+			heap.Push(&k.pq, e)
+			k.now = limit
+			return k.now
+		}
+		if e.p.done || !e.p.parked || e.p.epoch != e.epoch {
+			continue // stale wake
+		}
+		k.now = e.t
+		e.p.parked = false
+		e.p.epoch++
+		e.p.resume <- struct{}{}
+		<-k.yield
+	}
+	return k.now
+}
+
+// Blocked reports the number of live processes that are parked with no
+// pending wake event — useful to assert on unexpected deadlock in tests.
+func (k *Kernel) Blocked() int {
+	pending := make(map[*Proc]bool)
+	for _, e := range k.pq {
+		if !e.p.done && e.p.parked && e.p.epoch == e.epoch {
+			pending[e.p] = true
+		}
+	}
+	n := 0
+	// alive counts processes whose fn has not returned. A parked process
+	// without a pending event is blocked on a chan/resource/future.
+	n = k.alive - len(pending)
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Alive reports the number of processes whose body has not yet returned.
+func (k *Kernel) Alive() int { return k.alive }
+
+func (k *Kernel) String() string {
+	return fmt.Sprintf("simnet.Kernel{now=%v, events=%d, alive=%d}", k.now, len(k.pq), k.alive)
+}

@@ -1,0 +1,213 @@
+// Package trace records activity spans during a simulated Cashmere run and
+// renders them as Gantt charts, reproducing Figs. 16 and 17 of the paper
+// (queues q0..qn per node; narrow bars for CPU/transfer tasks, wide bars for
+// kernel executions).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cashmere/internal/simnet"
+)
+
+// Kind classifies a span, mirroring the activity classes visible in the
+// paper's Gantt charts.
+type Kind string
+
+const (
+	KindKernel Kind = "kernel" // kernel execution on a many-core device
+	KindH2D    Kind = "h2d"    // host-to-device transfer over PCIe
+	KindD2H    Kind = "d2h"    // device-to-host transfer over PCIe
+	KindSend   Kind = "send"   // inter-node network send
+	KindRecv   Kind = "recv"   // inter-node network receive
+	KindCPU    Kind = "cpu"    // CPU-side task (job management, leaf on CPU)
+	KindSteal  Kind = "steal"  // work-stealing protocol activity
+)
+
+// Span is one bar on the Gantt chart.
+type Span struct {
+	Node  int
+	Queue string // lane within the node, e.g. "q4" or a device name
+	Kind  Kind
+	Label string
+	Start simnet.Time
+	End   simnet.Time
+}
+
+// Duration reports the span length.
+func (s Span) Duration() simnet.Duration { return simnet.Duration(s.End - s.Start) }
+
+// Recorder collects spans. A nil *Recorder is valid and discards everything,
+// so tracing can be disabled without conditional code at every call site.
+type Recorder struct {
+	spans []Span
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// FromSpans builds a recorder over an existing span set (e.g. a filtered
+// subset of another recorder).
+func FromSpans(spans []Span) *Recorder { return &Recorder{spans: spans} }
+
+// Add records a span. No-op on a nil recorder.
+func (r *Recorder) Add(s Span) {
+	if r == nil {
+		return
+	}
+	r.spans = append(r.spans, s)
+}
+
+// Spans returns all recorded spans sorted by start time.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Len reports the number of recorded spans. Works on nil.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.spans)
+}
+
+// Filter returns the spans for which keep returns true.
+func (r *Recorder) Filter(keep func(Span) bool) []Span {
+	var out []Span
+	for _, s := range r.Spans() {
+		if keep(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// CSV renders all spans as comma-separated rows (node,queue,kind,label,
+// start_us,end_us), suitable for external plotting.
+func (r *Recorder) CSV() string {
+	var b strings.Builder
+	b.WriteString("node,queue,kind,label,start_us,end_us\n")
+	for _, s := range r.Spans() {
+		fmt.Fprintf(&b, "%d,%s,%s,%s,%.3f,%.3f\n",
+			s.Node, s.Queue, s.Kind, s.Label,
+			float64(s.Start)/1e3, float64(s.End)/1e3)
+	}
+	return b.String()
+}
+
+// GanttOptions controls ASCII rendering.
+type GanttOptions struct {
+	Width      int // chart width in characters (default 100)
+	From, To   simnet.Time
+	KernelOnly bool // Fig. 17 mode: drop everything but kernel executions
+}
+
+// Gantt renders an ASCII Gantt chart. Lanes are (node, queue) pairs sorted
+// by node then queue. Kernel executions render as '#', transfers as '=',
+// CPU/steal activity as '-', matching the paper's wide-vs-narrow bars.
+func (r *Recorder) Gantt(opt GanttOptions) string {
+	spans := r.Spans()
+	if opt.KernelOnly {
+		var ks []Span
+		for _, s := range spans {
+			if s.Kind == KindKernel {
+				ks = append(ks, s)
+			}
+		}
+		spans = ks
+	}
+	if len(spans) == 0 {
+		return "(no spans)\n"
+	}
+	if opt.Width <= 0 {
+		opt.Width = 100
+	}
+	from, to := opt.From, opt.To
+	if to == 0 {
+		for _, s := range spans {
+			if s.End > to {
+				to = s.End
+			}
+		}
+	}
+	if to <= from {
+		return "(empty window)\n"
+	}
+
+	type laneKey struct {
+		node  int
+		queue string
+	}
+	lanes := map[laneKey][]Span{}
+	var keys []laneKey
+	for _, s := range spans {
+		if s.End <= from || s.Start >= to {
+			continue
+		}
+		k := laneKey{s.Node, s.Queue}
+		if _, seen := lanes[k]; !seen {
+			keys = append(keys, k)
+		}
+		lanes[k] = append(lanes[k], s)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].node != keys[j].node {
+			return keys[i].node < keys[j].node
+		}
+		return keys[i].queue < keys[j].queue
+	})
+
+	glyph := func(k Kind) byte {
+		switch k {
+		case KindKernel:
+			return '#'
+		case KindH2D, KindD2H, KindSend, KindRecv:
+			return '='
+		default:
+			return '-'
+		}
+	}
+
+	span := float64(to - from)
+	var b strings.Builder
+	fmt.Fprintf(&b, "time window: %v .. %v\n", from, to)
+	label := func(k laneKey) string { return fmt.Sprintf("n%02d %-10s", k.node, k.queue) }
+	for _, k := range keys {
+		row := make([]byte, opt.Width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range lanes[k] {
+			a := int(float64(s.Start-from) / span * float64(opt.Width))
+			z := int(float64(s.End-from) / span * float64(opt.Width))
+			if a < 0 {
+				a = 0
+			}
+			if z > opt.Width {
+				z = opt.Width
+			}
+			if z <= a {
+				z = a + 1
+			}
+			if z > opt.Width {
+				z = opt.Width
+				a = z - 1
+			}
+			g := glyph(s.Kind)
+			for i := a; i < z; i++ {
+				row[i] = g
+			}
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label(k), row)
+	}
+	b.WriteString("legend: # kernel   = transfer (pcie/network)   - cpu/steal\n")
+	return b.String()
+}
