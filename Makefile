@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+# check runs everything CI runs.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race covers the packages with real concurrency: the closure engine's
+# parallel foreach worker pool and the simulation kernel's process switching.
+race:
+	$(GO) test -race ./internal/mcl/... ./internal/simnet/...
+
+# bench regenerates the engine-comparison numbers recorded in
+# BENCH_kernels.json.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkKernelExec|BenchmarkEventHeap' -benchtime 2s . ./internal/simnet/

@@ -9,10 +9,14 @@
 package cashmere_test
 
 import (
+	"math/rand"
 	"testing"
 
 	"cashmere/internal/apps"
 	"cashmere/internal/bench"
+	"cashmere/internal/mcl/closure"
+	"cashmere/internal/mcl/interp"
+	"cashmere/internal/mcl/mcpl"
 )
 
 // benchScalability runs the scalability study for one app once per
@@ -173,3 +177,95 @@ func BenchmarkVerifiedMatmul(b *testing.B) {
 }
 
 var _ = apps.PaperMatmul // keep the apps package linked for documentation
+
+// kernelBench is one app kernel at a fixed verification-scale problem size,
+// executed by both engines for the engine-comparison benchmark.
+type kernelBench struct {
+	name   string
+	src    string
+	kernel string
+	args   func(r *rand.Rand) []any
+}
+
+func benchRandFloats(r *rand.Rand, dims ...int) *interp.Array {
+	a := interp.NewFloatArray(dims...)
+	for i := range a.F {
+		a.F[i] = r.Float64()
+	}
+	return a
+}
+
+func kernelBenches() []kernelBench {
+	return []kernelBench{
+		{
+			name: "matmul", src: apps.MatmulPerfect, kernel: "matmul",
+			args: func(r *rand.Rand) []any {
+				const n = 64
+				return []any{n, n, n, interp.NewFloatArray(n, n),
+					benchRandFloats(r, n, n), benchRandFloats(r, n, n)}
+			},
+		},
+		{
+			name: "kmeans", src: apps.KMeansPerfect, kernel: "kmeans",
+			args: func(r *rand.Rand) []any {
+				n, k, d := 512, 16, 4
+				return []any{n, k, d, benchRandFloats(r, n, d),
+					benchRandFloats(r, k, d), interp.NewIntArray(n)}
+			},
+		},
+		{
+			name: "nbody", src: apps.NBodyPerfect, kernel: "nbody",
+			args: func(r *rand.Rand) []any {
+				const n = 256
+				return []any{n, 0, n, benchRandFloats(r, n, 4),
+					interp.NewFloatArray(n, 3)}
+			},
+		},
+		{
+			name: "raytracer", src: apps.RaytracerPerfect, kernel: "raytrace",
+			args: func(r *rand.Rand) []any {
+				w, h, rows, samples := 16, 16, 4, 2
+				sc := apps.CornellScene()
+				return []any{w, h, 0, rows, samples, sc.Dims[0], 1,
+					sc, interp.NewFloatArray(rows, w, 3)}
+			},
+		},
+	}
+}
+
+// BenchmarkKernelExec compares the two real-execution engines on the app
+// kernels: the tree-walking interpreter vs the closure-compiled engine that
+// backs codegen.Compiled.Run. Baseline numbers are recorded in
+// BENCH_kernels.json.
+func BenchmarkKernelExec(b *testing.B) {
+	for _, kb := range kernelBenches() {
+		prog, err := mcpl.Parse(kb.src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mcpl.Check(prog); err != nil {
+			b.Fatal(err)
+		}
+		args := kb.args(rand.New(rand.NewSource(11)))
+		b.Run("interp/"+kb.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := interp.Run(prog, kb.kernel, args...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		k, err := closure.Compile(prog, kb.kernel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("closure/"+kb.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := k.Run(args...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -407,3 +407,66 @@ func TestKernelSetErrors(t *testing.T) {
 		t.Fatal("wrong kernel name accepted")
 	}
 }
+
+// TestCompiledRunUsesClosureEngine checks that Compile wires in the
+// closure-compiled fast engine for supported kernels and memoizes it per
+// (program, kernel).
+func TestCompiledRunUsesClosureEngine(t *testing.T) {
+	h := hdl.Library()
+	ks, _ := NewKernelSet("matmul", matmulPerfect)
+	c1, err := ks.Compile("gtx480", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.engine == nil {
+		t.Fatal("supported kernel did not get a closure engine")
+	}
+	c2, err := ks.Compile("xeon_phi", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.engine != c1.engine {
+		t.Fatal("engine not memoized across Compile calls on the same program")
+	}
+}
+
+// TestCompiledRunFallsBackToInterp checks that a kernel the closure
+// compiler cannot lower (a reduction into an outer scalar across a
+// barrier-synchronized foreach) still executes — through the interpreter.
+func TestCompiledRunFallsBackToInterp(t *testing.T) {
+	const src = `
+perfect void colsum(int n, float[n] xs, float[1] out) {
+  float acc = 0.0;
+  foreach (int i in 1 threads) {
+    for (int j = 0; j < n; j++) {
+      acc += xs[j];
+    }
+    barrier();
+  }
+  out[0] = acc;
+}
+`
+	h := hdl.Library()
+	ks, err := NewKernelSet("colsum", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ks.Compile("gtx480", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.engine != nil {
+		t.Fatal("unsupported kernel unexpectedly got a closure engine")
+	}
+	xs := interp.NewFloatArray(4)
+	for i := range xs.F {
+		xs.F[i] = float64(i + 1)
+	}
+	out := interp.NewFloatArray(1)
+	if err := c.Run(int64(4), xs, out); err != nil {
+		t.Fatalf("fallback run: %v", err)
+	}
+	if out.F[0] != 10 {
+		t.Fatalf("fallback result = %v, want 10", out.F[0])
+	}
+}

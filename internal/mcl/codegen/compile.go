@@ -3,8 +3,10 @@ package codegen
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"cashmere/internal/device"
+	"cashmere/internal/mcl/closure"
 	"cashmere/internal/mcl/hdl"
 	"cashmere/internal/mcl/interp"
 	"cashmere/internal/mcl/mcpl"
@@ -68,6 +70,33 @@ type Compiled struct {
 	src        *mcpl.Program // the selected version, used for execution/analysis
 	translated *mcpl.Program
 	spec       *device.Spec
+	engine     *closure.Kernel // closure-compiled fast engine; nil -> interp
+}
+
+// engineKey identifies one (program, kernel) pair in the closure engine
+// cache. Programs are compared by pointer: a KernelSet parses each source
+// once, so every Compiled selecting the same version shares the program.
+type engineKey struct {
+	prog *mcpl.Program
+	name string
+}
+
+// engineCache memoizes closure compilation per (program, kernel), including
+// negative results (a nil *closure.Kernel means "fall back to interp"), so
+// repeated Compile calls and repeated launches never redo engine setup.
+var engineCache sync.Map // engineKey -> *closure.Kernel
+
+func engineFor(prog *mcpl.Program, name string) *closure.Kernel {
+	key := engineKey{prog, name}
+	if v, ok := engineCache.Load(key); ok {
+		return v.(*closure.Kernel)
+	}
+	k, err := closure.Compile(prog, name)
+	if err != nil {
+		k = nil
+	}
+	v, _ := engineCache.LoadOrStore(key, k)
+	return v.(*closure.Kernel)
 }
 
 // Compile selects the most specific applicable version for the leaf,
@@ -112,12 +141,17 @@ func (ks *KernelSet) Compile(leaf string, h *hdl.Hierarchy) (*Compiled, error) {
 		src:         src,
 		translated:  tr,
 		spec:        spec,
+		engine:      engineFor(src, ks.Name),
 	}, nil
 }
 
-// Run executes the kernel on the host (through the MCPL interpreter),
-// verifying real data at verification scale.
+// Run executes the kernel on the host at verification scale. The
+// closure-compiled engine (internal/mcl/closure) is the default; kernels it
+// cannot lower run through the reference tree-walking interpreter.
 func (c *Compiled) Run(args ...any) error {
+	if c.engine != nil {
+		return c.engine.Run(args...)
+	}
 	return interp.Run(c.src, c.Name, args...)
 }
 

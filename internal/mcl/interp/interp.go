@@ -155,7 +155,7 @@ func (m *machine) call(f *mcpl.Func, args []any) (any, error) {
 	}
 	e := newEnv(nil)
 	for i, prm := range f.Params {
-		v, err := coerceArg(prm, args[i])
+		v, err := CoerceArg(prm, args[i])
 		if err != nil {
 			return nil, err
 		}
@@ -191,7 +191,12 @@ func (m *machine) call(f *mcpl.Func, args []any) (any, error) {
 	return nil, nil
 }
 
-func coerceArg(prm mcpl.Param, a any) (any, error) {
+// CoerceArg converts a caller-supplied argument to the parameter's runtime
+// representation (int64/float64/bool scalars, *Array by reference), widening
+// Go ints for convenience. It is shared with the closure-compilation engine
+// (internal/mcl/closure) so both engines accept identical calling
+// conventions.
+func CoerceArg(prm mcpl.Param, a any) (any, error) {
 	if prm.Type.IsArray() {
 		arr, ok := a.(*Array)
 		if !ok {

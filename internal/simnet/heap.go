@@ -1,0 +1,66 @@
+package simnet
+
+// eventHeap is a hand-rolled binary min-heap over events, ordered by
+// (time, sequence). container/heap would force every push and pop through
+// an interface{} conversion, allocating one box per scheduled event; on the
+// kernel's hot loop that boxing dominates, so the sift operations are
+// inlined here over the concrete slice. Ties break on the monotonically
+// increasing sequence number (which is unique), keeping the pop order — and
+// therefore every simulation trajectory — identical to the container/heap
+// implementation.
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+
+// push adds an event and restores the heap invariant by sifting up.
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event. It must not be called on an
+// empty heap.
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // drop the Proc pointer for the collector
+	*h = q[:n]
+	h.siftDown(0)
+	return top
+}
+
+func (h *eventHeap) siftDown(i int) {
+	q := *h
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && q.less(r, l) {
+			min = r
+		}
+		if !q.less(min, i) {
+			return
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+}

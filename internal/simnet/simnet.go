@@ -14,7 +14,6 @@
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -44,25 +43,6 @@ type event struct {
 	seq   uint64
 	p     *Proc
 	epoch uint64 // park epoch the event is allowed to wake
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
 }
 
 // Kernel is a discrete-event simulation kernel. The zero value is not usable;
@@ -131,7 +111,7 @@ func (k *Kernel) post(t Time, p *Proc, epoch uint64) {
 		t = k.now
 	}
 	k.seq++
-	heap.Push(&k.pq, event{t: t, seq: k.seq, p: p, epoch: epoch})
+	k.pq.push(event{t: t, seq: k.seq, p: p, epoch: epoch})
 }
 
 // Spawn creates a process executing fn and schedules it to start at the
@@ -206,10 +186,10 @@ func (k *Kernel) Run(limit Time) Time {
 	k.running = true
 	defer func() { k.running = false }()
 	for len(k.pq) > 0 {
-		e := heap.Pop(&k.pq).(event)
+		e := k.pq.pop()
 		if limit > 0 && e.t > limit {
 			// Push back so a later Run can continue.
-			heap.Push(&k.pq, e)
+			k.pq.push(e)
 			k.now = limit
 			return k.now
 		}
