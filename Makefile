@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench bench-sim
 
 # check runs everything CI runs.
 check: vet build test race
@@ -15,11 +15,19 @@ test:
 	$(GO) test ./...
 
 # race covers the packages with real concurrency: the closure engine's
-# parallel foreach worker pool and the simulation kernel's process switching.
+# parallel foreach worker pool, the simulation kernel's process switching,
+# the pooled messaging layers built on it, and the parallel experiment
+# harness.
 race:
-	$(GO) test -race ./internal/mcl/... ./internal/simnet/...
+	$(GO) test -race ./internal/mcl/... ./internal/simnet/... ./internal/network/... ./internal/satin/... ./internal/bench/...
 
 # bench regenerates the engine-comparison numbers recorded in
 # BENCH_kernels.json.
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkKernelExec|BenchmarkEventHeap' -benchtime 2s . ./internal/simnet/
+
+# bench-sim regenerates the simulator hot-path numbers recorded in
+# BENCH_sim.json (event-loop cost, network message rate, Fig. 7 harness
+# wall-clock at parallelism 1 and 4).
+bench-sim:
+	$(GO) run ./cmd/bench-sim

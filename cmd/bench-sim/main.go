@@ -1,0 +1,197 @@
+// Command bench-sim regenerates BENCH_sim.json: the simulator hot-path
+// numbers (event-loop cost, network message rate, Fig. 7 harness wall-clock)
+// next to the recorded pre-optimization baseline.
+//
+// Usage (from the repository root, or use `make bench-sim`):
+//
+//	go run ./cmd/bench-sim
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type report struct {
+	Description string            `json:"description"`
+	Date        string            `json:"date"`
+	CPU         string            `json:"cpu"`
+	Go          string            `json:"go"`
+	Baseline    []benchResult     `json:"baseline"`
+	Benchmarks  []benchResult     `json:"benchmarks"`
+	Speedup     map[string]string `json:"speedup"`
+	Notes       []string          `json:"notes"`
+}
+
+// baseline holds the numbers measured on the pre-optimization tree (two-switch
+// scheduler, per-message Spawn, sequential harness) on the reference machine.
+// They are recorded rather than regenerated because that code no longer
+// exists; the scheduler half survives as DisableDirectHandoff for trajectory
+// tests.
+var baseline = []benchResult{
+	{Name: "BenchmarkSimnetEventLoop/hold", NsPerOp: 517.9, BytesPerOp: 0, AllocsPerOp: 0},
+	{Name: "BenchmarkSimnetEventLoop/pingpong", NsPerOp: 1202, BytesPerOp: 48, AllocsPerOp: 3},
+	{Name: "BenchmarkNetworkMessageRate/bulk", NsPerOp: 3963, BytesPerOp: 400, AllocsPerOp: 7},
+	{Name: "BenchmarkNetworkMessageRate/ctl", NsPerOp: 2843, BytesPerOp: 400, AllocsPerOp: 7},
+	{Name: "BenchmarkFig7Harness/sequential", NsPerOp: 8.42e9, BytesPerOp: 0, AllocsPerOp: 0},
+}
+
+func main() {
+	var results []benchResult
+	runs := []struct {
+		pkg, pattern, benchtime string
+	}{
+		{"./internal/simnet/", "BenchmarkSimnetEventLoop", "1s"},
+		{"./internal/network/", "BenchmarkNetworkMessageRate", "1s"},
+		{"./internal/bench/", "BenchmarkFig7Harness", "1x"},
+	}
+	for _, r := range runs {
+		fmt.Fprintf(os.Stderr, "bench-sim: running %s in %s\n", r.pattern, r.pkg)
+		out, err := runBench(r.pkg, r.pattern, r.benchtime)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-sim: %v\n%s", err, out)
+			os.Exit(1)
+		}
+		parsed, err := parseBench(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-sim: %v\n", err)
+			os.Exit(1)
+		}
+		results = append(results, parsed...)
+	}
+
+	rep := report{
+		Description: "Simulator hot-path benchmarks: per-event scheduling cost " +
+			"(direct handoff vs the recorded two-switch baseline), steady-state network " +
+			"message rate (pooled couriers, zero allocations), and the Fig. 7 harness " +
+			"wall-clock at harness parallelism 1 and 4. Regenerate with: make bench-sim",
+		Date:       time.Now().Format("2006-01-02"),
+		CPU:        cpuModel(),
+		Go:         runtime.Version(),
+		Baseline:   baseline,
+		Benchmarks: results,
+		Speedup:    speedups(results),
+		Notes: []string{
+			"baseline: pre-optimization tree (two-switch scheduler, per-message Spawn, sequential harness) on the reference machine",
+			fmt.Sprintf("this run: GOMAXPROCS=%d; the fig7 parallel4/parallel1 ratio is bounded by the host's core count and by the largest single simulation", runtime.GOMAXPROCS(0)),
+		},
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-sim: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile("BENCH_sim.json", append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench-sim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "bench-sim: wrote BENCH_sim.json")
+}
+
+func runBench(pkg, pattern, benchtime string) (string, error) {
+	cmd := exec.Command("go", "test", "-run", "xxx", "-bench", pattern,
+		"-benchtime", benchtime, "-count", "1", pkg)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err := cmd.Run()
+	return out.String(), err
+}
+
+// parseBench extracts "BenchmarkX/sub  N  v ns/op [v B/op v allocs/op]" lines.
+func parseBench(out string) ([]benchResult, error) {
+	var results []benchResult
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix so names are machine-independent.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := benchResult{Name: name}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %v", sc.Text(), err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			}
+		}
+		results = append(results, r)
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in output:\n%s", out)
+	}
+	return results, nil
+}
+
+// speedups reports current-vs-baseline ratios for the benchmarks that have a
+// recorded baseline, plus the harness's internal parallel1/parallel4 ratio.
+func speedups(results []benchResult) map[string]string {
+	cur := map[string]float64{}
+	for _, r := range results {
+		cur[r.Name] = r.NsPerOp
+	}
+	out := map[string]string{}
+	pair := map[string]string{
+		"BenchmarkSimnetEventLoop/hold":     "event_loop_hold",
+		"BenchmarkSimnetEventLoop/pingpong": "event_loop_pingpong",
+		"BenchmarkNetworkMessageRate/bulk":  "network_bulk",
+		"BenchmarkNetworkMessageRate/ctl":   "network_ctl",
+	}
+	for _, b := range baseline {
+		key, ok := pair[b.Name]
+		if !ok {
+			continue
+		}
+		if v := cur[b.Name]; v > 0 {
+			out[key] = fmt.Sprintf("%.2fx", b.NsPerOp/v)
+		}
+	}
+	if p1, p4 := cur["BenchmarkFig7Harness/parallel1"], cur["BenchmarkFig7Harness/parallel4"]; p1 > 0 && p4 > 0 {
+		out["fig7_parallel4_vs_parallel1"] = fmt.Sprintf("%.2fx", p1/p4)
+	}
+	return out
+}
+
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "model name") {
+			if _, after, ok := strings.Cut(line, ":"); ok {
+				return strings.TrimSpace(after)
+			}
+		}
+	}
+	return runtime.GOARCH
+}

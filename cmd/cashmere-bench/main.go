@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"cashmere/internal/bench"
 )
@@ -25,7 +26,10 @@ var experiments = []string{
 func main() {
 	exp := flag.String("experiment", "all", "experiment id (tab2, fig6..fig17, tab3) or all")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"number of simulations to run concurrently (1 = sequential); output is identical at any setting")
 	flag.Parse()
+	bench.SetParallelism(*parallel)
 
 	if *list {
 		for _, e := range experiments {

@@ -30,6 +30,8 @@ func main() {
 		variant = flag.String("variant", "opt", "satin, unopt or opt")
 		gantt   = flag.Bool("gantt", false, "print a Gantt chart of the execution")
 		seed    = flag.Int64("seed", 1, "simulation seed")
+		legacy  = flag.Bool("legacy-sched", false,
+			"use the two-switch event scheduler instead of direct handoff (same trajectory, for comparison)")
 	)
 	flag.Parse()
 
@@ -53,6 +55,9 @@ func main() {
 	}
 	cl, err := core.NewCluster(cfg)
 	die(err)
+	if *legacy {
+		cl.Kernel().DisableDirectHandoff()
+	}
 
 	var res apps.Result
 	switch *app {

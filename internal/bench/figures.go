@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"cashmere/internal/apps"
@@ -24,7 +25,43 @@ type driver struct {
 	leafFlops  float64          // paper-convention operation count of that launch
 }
 
+// drivers returns the app descriptor table. The table and the problem
+// descriptors it captures are immutable, so it is built once and shared;
+// every experiment used to rebuild it per simulation.
+var (
+	driverTable map[string]driver
+	driverOnce  sync.Once
+)
+
 func drivers() map[string]driver {
+	driverOnce.Do(func() { driverTable = buildDrivers() })
+	return driverTable
+}
+
+// kernelSets memoizes parsed+translated kernel sets keyed "app/variant".
+// Kernel sets are safe to share across concurrent simulations: registration
+// and compilation read the programs (translate clones before rewriting) and
+// the compiled-engine cache is a sync.Map.
+var kernelSets sync.Map
+
+func kernelsFor(appName string, v apps.Variant) (*codegen.KernelSet, error) {
+	key := appName + "/" + shortVariant(v)
+	if ks, ok := kernelSets.Load(key); ok {
+		return ks.(*codegen.KernelSet), nil
+	}
+	d, ok := drivers()[appName]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown app %q", appName)
+	}
+	ks, err := d.kernels(v)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := kernelSets.LoadOrStore(key, ks)
+	return actual.(*codegen.KernelSet), nil
+}
+
+func buildDrivers() map[string]driver {
 	rt, mm, km, nb := apps.PaperRaytracer(), apps.PaperMatmul(), apps.PaperKMeans(), apps.PaperNBody()
 	return map[string]driver{
 		"raytracer": {
@@ -95,7 +132,7 @@ func Fig6KernelPerformance() (Figure, error) {
 	for _, appName := range AppNames {
 		d := drivers()[appName]
 		for _, variant := range []apps.Variant{apps.CashmereUnoptimized, apps.CashmereOptimized} {
-			ks, err := d.kernels(variant)
+			ks, err := kernelsFor(appName, variant)
 			if err != nil {
 				return fig, err
 			}
@@ -139,7 +176,9 @@ func shortVariant(v apps.Variant) string {
 // ScaleNodeCounts are the cluster sizes of the scalability studies.
 var ScaleNodeCounts = []int{1, 2, 4, 8, 16}
 
-// runVariant executes the app's paper problem on n gtx480 nodes.
+// runVariant executes the app's paper problem on n gtx480 nodes. Each call
+// builds a private cluster (its own simnet kernel and RNG), so concurrent
+// calls are independent.
 func runVariant(appName string, n int, v apps.Variant) (apps.Result, error) {
 	d := drivers()[appName]
 	cfg := core.DefaultConfig(n, "gtx480")
@@ -153,7 +192,7 @@ func runVariant(appName string, n int, v apps.Variant) (apps.Result, error) {
 	if err != nil {
 		return apps.Result{}, err
 	}
-	ks, err := d.kernels(v)
+	ks, err := kernelsFor(appName, v)
 	if err != nil {
 		return apps.Result{}, err
 	}
@@ -181,17 +220,58 @@ func Scalability(appName string) (speedup, absolute Figure, err error) {
 	if !ok {
 		return speedup, absolute, fmt.Errorf("bench: unknown app %q", appName)
 	}
+	return scalability(appName, id, ScaleNodeCounts)
+}
+
+// scalability runs the (variant x node-count) grid of one scalability study.
+// The simulations are independent — each owns a private cluster — so they run
+// concurrently up to Parallelism(); results land in per-index slots and the
+// series are assembled in grid order, making the output independent of the
+// parallelism level.
+func scalability(appName string, id [2]string, nodeCounts []int) (speedup, absolute Figure, err error) {
 	speedup = Figure{ID: id[0], Title: appName + " scalability (speedup vs 1 node)", XLabel: "nodes", YLabel: "speedup"}
 	absolute = Figure{ID: id[1], Title: appName + " absolute performance", XLabel: "nodes", YLabel: "GFLOPS"}
-	for _, v := range []apps.Variant{apps.Satin, apps.CashmereUnoptimized, apps.CashmereOptimized} {
+	variants := []apps.Variant{apps.Satin, apps.CashmereUnoptimized, apps.CashmereOptimized}
+
+	// Warm the kernel-set cache sequentially so parallel workers share the
+	// parsed programs instead of racing to parse them redundantly.
+	for _, v := range variants {
+		if _, err := kernelsFor(appName, v); err != nil {
+			return speedup, absolute, err
+		}
+	}
+
+	type spec struct {
+		v apps.Variant
+		n int
+	}
+	var specs []spec
+	for _, v := range variants {
+		for _, n := range nodeCounts {
+			specs = append(specs, spec{v: v, n: n})
+		}
+	}
+	results := make([]apps.Result, len(specs))
+	err = runParallel(len(specs), func(i int) error {
+		res, err := runVariant(appName, specs[i].n, specs[i].v)
+		if err != nil {
+			return fmt.Errorf("%s/%s on %d nodes: %w", appName, specs[i].v, specs[i].n, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return speedup, absolute, err
+	}
+
+	i := 0
+	for _, v := range variants {
 		su := Series{Label: shortVariant(v)}
 		ab := Series{Label: shortVariant(v)}
 		var base float64
-		for _, n := range ScaleNodeCounts {
-			res, err := runVariant(appName, n, v)
-			if err != nil {
-				return speedup, absolute, fmt.Errorf("%s/%s on %d nodes: %w", appName, v, n, err)
-			}
+		for _, n := range nodeCounts {
+			res := results[i]
+			i++
 			if n == 1 {
 				base = res.Elapsed.Seconds()
 			}

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"cashmere/internal/apps"
 	"cashmere/internal/core"
@@ -95,7 +96,7 @@ func runHetero(appName string, cfgNodes []core.NodeSpec, record bool) (apps.Resu
 	if err != nil {
 		return apps.Result{}, nil, err
 	}
-	ks, err := d.kernels(apps.CashmereOptimized)
+	ks, err := kernelsFor(appName, apps.CashmereOptimized)
 	if err != nil {
 		return apps.Result{}, nil, err
 	}
@@ -113,17 +114,23 @@ type Table3Row struct {
 	Configuration string
 }
 
-// Table3 reproduces the heterogeneous performance table.
+// Table3 reproduces the heterogeneous performance table. The four
+// application runs are independent simulations and execute concurrently.
 func Table3() ([]Table3Row, error) {
 	configs := Table3Configs()
-	var rows []Table3Row
-	for _, app := range AppNames {
+	rows := make([]Table3Row, len(AppNames))
+	err := runParallel(len(AppNames), func(i int) error {
+		app := AppNames[i]
 		cfg := configs[app]
 		res, _, err := runHetero(app, cfg.Nodes, false)
 		if err != nil {
-			return nil, fmt.Errorf("tab3 %s: %w", app, err)
+			return fmt.Errorf("tab3 %s: %w", app, err)
 		}
-		rows = append(rows, Table3Row{App: app, GFLOPS: res.GFLOPS, Configuration: cfg.Describe()})
+		rows[i] = Table3Row{App: app, GFLOPS: res.GFLOPS, Configuration: cfg.Describe()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -139,19 +146,32 @@ func FormatTable3(rows []Table3Row) string {
 	return b.String()
 }
 
+// gflopsCache memoizes single-node GFLOPS across concurrent Fig. 15 rows.
+// Simulations are deterministic, so a racing miss recomputes the identical
+// value; the mutex only guards the map itself.
+type gflopsCache struct {
+	mu sync.Mutex
+	m  map[string]float64
+}
+
 // singleNodeGFLOPS runs the app's paper problem on a one-node cluster with
 // the given device set (the per-node term of the paper's maximum-attainable
 // performance).
-func singleNodeGFLOPS(appName string, devices []string, cache map[string]float64) (float64, error) {
+func singleNodeGFLOPS(appName string, devices []string, cache *gflopsCache) (float64, error) {
 	key := appName + "/" + strings.Join(devices, "+")
-	if v, ok := cache[key]; ok {
+	cache.mu.Lock()
+	v, ok := cache.m[key]
+	cache.mu.Unlock()
+	if ok {
 		return v, nil
 	}
 	res, _, err := runHetero(appName, []core.NodeSpec{{Devices: devices}}, false)
 	if err != nil {
 		return 0, err
 	}
-	cache[key] = res.GFLOPS
+	cache.mu.Lock()
+	cache.m[key] = res.GFLOPS
+	cache.mu.Unlock()
 	return res.GFLOPS, nil
 }
 
@@ -166,36 +186,45 @@ func Fig15Efficiency() (Figure, error) {
 		Notes: []string{"x encodes the application: " + strings.Join(AppNames, ", ")},
 	}
 	configs := Table3Configs()
-	cache := map[string]float64{}
+	cache := &gflopsCache{m: map[string]float64{}}
 	het := Series{Label: "heterogeneous"}
 	hom := Series{Label: "homogeneous-16"}
-	for i, app := range AppNames {
+	type row struct{ het, hom float64 }
+	rows := make([]row, len(AppNames))
+	err := runParallel(len(AppNames), func(i int) error {
+		app := AppNames[i]
 		cfg := configs[app]
 		res, _, err := runHetero(app, cfg.Nodes, false)
 		if err != nil {
-			return fig, err
+			return err
 		}
 		attainable := 0.0
 		for _, nd := range cfg.Nodes {
 			g, err := singleNodeGFLOPS(app, nd.Devices, cache)
 			if err != nil {
-				return fig, err
+				return err
 			}
 			attainable += g
 		}
-		het.X = append(het.X, float64(i))
-		het.Y = append(het.Y, res.GFLOPS/attainable)
-
 		r16, err := runVariant(app, 16, apps.CashmereOptimized)
 		if err != nil {
-			return fig, err
+			return err
 		}
 		g1, err := singleNodeGFLOPS(app, []string{"gtx480"}, cache)
 		if err != nil {
-			return fig, err
+			return err
 		}
+		rows[i] = row{het: res.GFLOPS / attainable, hom: r16.GFLOPS / (16 * g1)}
+		return nil
+	})
+	if err != nil {
+		return fig, err
+	}
+	for i := range AppNames {
+		het.X = append(het.X, float64(i))
+		het.Y = append(het.Y, rows[i].het)
 		hom.X = append(hom.X, float64(i))
-		hom.Y = append(hom.Y, r16.GFLOPS/(16*g1))
+		hom.Y = append(hom.Y, rows[i].hom)
 	}
 	fig.Series = append(fig.Series, het, hom)
 	return fig, nil

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment harness runs many independent simulations (app x variant x
+// node-count — 60 for the scalability figures alone). Each simulation owns a
+// private simnet.Kernel, RNG and cluster state and shares only immutable
+// inputs (parsed kernel sets, problem descriptors), so simulations can run
+// concurrently on real CPU cores. Results are written to per-index slots and
+// assembled in a fixed order afterwards, which keeps every figure
+// byte-identical to a sequential run (TestParallelScalabilityDeterministic
+// asserts this).
+
+// parallelism is the number of simulations run concurrently.
+var parallelism = runtime.GOMAXPROCS(0)
+
+// SetParallelism sets the number of concurrent simulations; n < 1 selects
+// sequential execution. It must not be called while experiments are running.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	parallelism = n
+}
+
+// Parallelism reports the current setting.
+func Parallelism() int { return parallelism }
+
+// runParallel invokes fn(0..n-1), running up to Parallelism() tasks
+// concurrently. fn must confine its effects to per-index slots. The first
+// error (by index, so the choice is deterministic) is returned.
+func runParallel(n int, fn func(i int) error) error {
+	workers := parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -77,9 +77,60 @@ type Fabric struct {
 	cfg   Config
 	nodes []*Endpoint
 
+	// couriers is the free list of pooled delivery processes. Every message
+	// in flight (propagation plus receive side) is carried by a courier;
+	// finished couriers park on their work queue and are reused, so
+	// steady-state traffic spawns no processes and allocates nothing.
+	couriers   []*courier
+	courierSeq int
+	relays     *simnet.ProcPool
+
 	// Stats.
 	bytesSent int64
 	msgsSent  int64
+}
+
+// courierWork is one in-flight message: the modeled propagation delay and,
+// for bulk transfers, the receive-side link occupancy before delivery.
+type courierWork struct {
+	dst  *Endpoint
+	m    Message
+	hold simnet.Duration // propagation (plus wire time on the control lane)
+	wire simnet.Duration // ingress serialization (bulk only)
+	bulk bool            // occupy the receiver's ingress link before delivery
+}
+
+// courier is a pooled delivery process.
+type courier struct {
+	f  *Fabric
+	ch *simnet.Chan[courierWork]
+}
+
+func (c *courier) loop(p *simnet.Proc) {
+	for {
+		w := c.ch.Recv(p)
+		p.Hold(w.hold)
+		if w.bulk {
+			w.dst.ingress.Use(p, 1, w.wire)
+		}
+		w.dst.deliver(w.m)
+		c.f.couriers = append(c.f.couriers, c)
+	}
+}
+
+// carry hands one in-flight message to an idle courier, spawning a new one
+// only when all existing couriers are busy.
+func (f *Fabric) carry(w courierWork) {
+	if n := len(f.couriers); n > 0 {
+		c := f.couriers[n-1]
+		f.couriers = f.couriers[:n-1]
+		c.ch.Send(w)
+		return
+	}
+	c := &courier{f: f, ch: simnet.NewChan[courierWork](f.k)}
+	f.courierSeq++
+	f.k.Spawn(fmt.Sprintf("net.courier.%d", f.courierSeq), func(p *simnet.Proc) { c.loop(p) })
+	c.ch.Send(w)
 }
 
 // Endpoint is one node's attachment to the fabric.
@@ -101,6 +152,7 @@ func New(k *simnet.Kernel, n int, cfg Config) *Fabric {
 		panic("network: bandwidth must be positive")
 	}
 	f := &Fabric{k: k, cfg: cfg}
+	f.relays = simnet.NewProcPool(k, "net.bcast.relay")
 	for i := 0; i < n; i++ {
 		f.nodes = append(f.nodes, &Endpoint{
 			f:       f,
@@ -171,23 +223,15 @@ func (e *Endpoint) Send(p *simnet.Proc, to int, kind string, size int64, payload
 	wire := time.Duration(float64(size) / e.f.cfg.Bandwidth * float64(time.Second))
 	p.Hold(e.f.cfg.PerMessageCPU)
 	lat := e.f.cfg.Latency
-	k := e.f.k
 	if size < ControlThreshold {
 		// Control lane: interleaved with bulk traffic, never queued
 		// behind it.
-		k.Spawn(fmt.Sprintf("net.ctl.%d->%d", e.id, to), func(dp *simnet.Proc) {
-			dp.Hold(lat + wire)
-			dst.deliver(m)
-		})
+		e.f.carry(courierWork{dst: dst, m: m, hold: lat + wire})
 		return
 	}
 	e.egress.Use(p, 1, wire)
 	// Propagation and receive-side DMA proceed without occupying the sender.
-	k.Spawn(fmt.Sprintf("net.deliver.%d->%d", e.id, to), func(dp *simnet.Proc) {
-		dp.Hold(lat)
-		dst.ingress.Use(dp, 1, wire)
-		dst.deliver(m)
-	})
+	e.f.carry(courierWork{dst: dst, m: m, hold: lat, wire: wire, bulk: true})
 }
 
 func (e *Endpoint) deliver(m Message) {
@@ -242,7 +286,7 @@ func (e *Endpoint) Broadcast(p *simnet.Proc, kind string, size int64, payload an
 			childStride := stride * 2
 			src.Send(p, peerID, kind, size, payload)
 			// The receiving node forwards further down the tree.
-			e.f.k.Spawn(fmt.Sprintf("net.bcast.relay.%d", peerID), func(rp *simnet.Proc) {
+			e.f.relays.Go(func(rp *simnet.Proc) {
 				send(rp, peer, childStride)
 			})
 		}

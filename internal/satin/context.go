@@ -71,8 +71,9 @@ func (c *Context) Spawn(desc JobDesc, fn func(ctx *Context) any) *Promise {
 	c.p.Hold(rt.cfg.SpawnOverhead)
 	if c.manyCore {
 		node := c.node
-		rt.k.Spawn(fmt.Sprintf("satin.mc.%d.%d", node.ID, job.ID), func(p *simnet.Proc) {
-			ctx := &Context{p: p, node: node, workerID: c.workerID, manyCore: true}
+		workerID := c.workerID
+		rt.pool.Go(func(p *simnet.Proc) {
+			ctx := &Context{p: p, node: node, workerID: workerID, manyCore: true}
 			v := job.fn(ctx)
 			if !job.result.Done() {
 				job.result.Complete(v)

@@ -107,6 +107,10 @@ type Runtime struct {
 	cfg    Config
 	nodes  []*Node
 	rec    *trace.Recorder
+	// pool runs the runtime's short-lived helper activities (steal-data
+	// transfers, many-core threads) on recycled processes instead of
+	// spawning a named goroutine per activity.
+	pool *simnet.ProcPool
 
 	nextJob uint64
 	done    bool
@@ -131,7 +135,8 @@ type Node struct {
 
 	deque        []*Job
 	pendingSteal map[int]*simnet.Chan[*Job]
-	outstanding  map[uint64]outRec // jobs stolen from us, by job ID
+	stealReply   map[int]*simnet.Chan[*Job] // per-worker reply chans, reused across steal rounds
+	outstanding  map[uint64]outRec          // jobs stolen from us, by job ID
 	dead         bool
 }
 
@@ -154,6 +159,7 @@ func New(k *simnet.Kernel, n int, netCfg network.Config, cfg Config, rec *trace.
 		fabric: network.New(k, n, netCfg),
 		cfg:    cfg,
 		rec:    rec,
+		pool:   simnet.NewProcPool(k, "satin.pool"),
 	}
 	for i := 0; i < n; i++ {
 		rt.nodes = append(rt.nodes, &Node{
@@ -161,6 +167,7 @@ func New(k *simnet.Kernel, n int, netCfg network.Config, cfg Config, rec *trace.
 			rt:           rt,
 			ep:           rt.fabric.Endpoint(i),
 			pendingSteal: map[int]*simnet.Chan[*Job]{},
+			stealReply:   map[int]*simnet.Chan[*Job]{},
 			outstanding:  map[uint64]outRec{},
 		})
 	}
@@ -290,8 +297,12 @@ func (n *Node) trySteal(p *simnet.Proc, workerID int) *Job {
 		if victim < 0 {
 			return nil
 		}
-		reply := simnet.NewChan[*Job](rt.k)
 		key := workerID
+		reply := n.stealReply[key]
+		if reply == nil {
+			reply = simnet.NewChan[*Job](rt.k)
+			n.stealReply[key] = reply
+		}
 		n.pendingSteal[key] = reply
 		n.ep.Send(p, victim, "steal_request", 64, stealReq{Thief: n.ID, Worker: key})
 		// Phase 1: wait briefly for the grant/denial (a tiny message).
@@ -388,7 +399,7 @@ func (n *Node) commLoop(p *simnet.Proc) {
 			// grant timeout.
 			n.ep.Send(p, req.Thief, "steal_reply", 64, stealReply{Worker: req.Worker, Job: jobGranted})
 			ep, thief, worker := n.ep, req.Thief, req.Worker
-			n.rt.k.Spawn(fmt.Sprintf("satin.xfer.%d->%d", n.ID, thief), func(sp *simnet.Proc) {
+			n.rt.pool.Go(func(sp *simnet.Proc) {
 				ep.Send(sp, thief, "steal_reply", job.Desc.InputBytes, stealReply{Worker: worker, Job: job})
 			})
 		case "steal_reply":

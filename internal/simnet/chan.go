@@ -8,9 +8,14 @@ package simnet
 // Chan models zero-latency in-memory queues: transport delays belong to the
 // network and PCIe models, which Hold for the modeled duration before
 // delivering into a Chan.
+//
+// The backing buffer is recycled: consumed slots at the front are reused
+// instead of sliding the slice forward, so steady-state traffic (queue
+// filling and draining around a stable depth) allocates nothing.
 type Chan[T any] struct {
 	k       *Kernel
 	buf     []T
+	head    int // index of the front value; len(buf)-head values are live
 	waiters []chanWaiter
 }
 
@@ -25,15 +30,41 @@ func NewChan[T any](k *Kernel) *Chan[T] {
 }
 
 // Len reports the number of queued values.
-func (c *Chan[T]) Len() int { return len(c.buf) }
+func (c *Chan[T]) Len() int { return len(c.buf) - c.head }
+
+// push appends v, sliding live values back to the start of the buffer when
+// the consumed prefix can be reused instead of growing.
+func (c *Chan[T]) push(v T) {
+	if c.head > 0 && len(c.buf) == cap(c.buf) {
+		n := copy(c.buf, c.buf[c.head:])
+		clear(c.buf[n:])
+		c.buf = c.buf[:n]
+		c.head = 0
+	}
+	c.buf = append(c.buf, v)
+}
+
+// pop removes and returns the front value; the channel must not be empty.
+func (c *Chan[T]) pop() T {
+	var zero T
+	v := c.buf[c.head]
+	c.buf[c.head] = zero // drop the reference for the collector
+	c.head++
+	if c.head == len(c.buf) {
+		c.buf = c.buf[:0]
+		c.head = 0
+	}
+	return v
+}
 
 // Send enqueues v and wakes the longest-waiting receiver, if any. It may be
 // called from any running process (or before Run starts).
 func (c *Chan[T]) Send(v T) {
-	c.buf = append(c.buf, v)
+	c.push(v)
 	if len(c.waiters) > 0 {
 		w := c.waiters[0]
-		c.waiters = c.waiters[1:]
+		n := copy(c.waiters, c.waiters[1:])
+		c.waiters = c.waiters[:n]
 		c.k.post(c.k.now, w.p, w.epoch)
 	}
 }
@@ -47,12 +78,10 @@ func (c *Chan[T]) Recv(p *Proc) T {
 // TryRecv returns a queued value without blocking. ok is false if the
 // channel is empty.
 func (c *Chan[T]) TryRecv() (v T, ok bool) {
-	if len(c.buf) == 0 {
+	if c.Len() == 0 {
 		return v, false
 	}
-	v = c.buf[0]
-	c.buf = c.buf[1:]
-	return v, true
+	return c.pop(), true
 }
 
 // RecvTimeout blocks p until a value is available or until d has elapsed.
@@ -66,7 +95,7 @@ func (c *Chan[T]) recv(p *Proc, timeout Duration) (v T, ok bool) {
 	if timeout >= 0 {
 		deadline = c.k.now.Add(timeout)
 	}
-	for len(c.buf) == 0 {
+	for c.Len() == 0 {
 		if timeout >= 0 && c.k.now >= deadline {
 			c.removeWaiter(p)
 			return v, false
@@ -83,9 +112,7 @@ func (c *Chan[T]) recv(p *Proc, timeout Duration) (v T, ok bool) {
 		// be listed (timeout fired first). Drop any stale entry for us.
 		c.removeWaiter(p)
 	}
-	v = c.buf[0]
-	c.buf = c.buf[1:]
-	return v, true
+	return c.pop(), true
 }
 
 func (c *Chan[T]) removeWaiter(p *Proc) {

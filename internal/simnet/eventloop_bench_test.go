@@ -1,0 +1,51 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSimnetEventLoop measures the cost of one scheduled event on the
+// kernel's hot path. Baseline and current numbers are recorded in
+// BENCH_sim.json (regenerate with `make bench-sim`).
+//
+//   - hold: a single process sleeping repeatedly. With direct handoff the
+//     next runnable event belongs to the parking process itself, so the wake
+//     needs no goroutine switch at all.
+//   - pingpong: two processes alternating through two channels — the classic
+//     one-event-per-wake pattern of the network and Satin layers. Direct
+//     handoff resumes the peer with one switch instead of bouncing through
+//     the kernel goroutine (two switches).
+func BenchmarkSimnetEventLoop(b *testing.B) {
+	b.Run("hold", func(b *testing.B) {
+		k := NewKernel(1)
+		k.Spawn("ticker", func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Hold(time.Microsecond)
+			}
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		k.Run(0)
+	})
+
+	b.Run("pingpong", func(b *testing.B) {
+		k := NewKernel(1)
+		a, c := NewChan[int](k), NewChan[int](k)
+		k.Spawn("ping", func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				a.Send(i)
+				c.Recv(p)
+			}
+		})
+		k.Spawn("pong", func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				a.Recv(p)
+				c.Send(i)
+			}
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		k.Run(0)
+	})
+}

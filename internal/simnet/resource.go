@@ -55,7 +55,10 @@ func (r *Resource) Acquire(p *Proc, n int64) {
 	for {
 		if r.avail >= n && (len(r.waiters) == 0 || r.waiters[0].p == p) {
 			if len(r.waiters) > 0 && r.waiters[0].p == p {
-				r.waiters = r.waiters[1:]
+				// Copy down instead of re-slicing so the backing array keeps
+				// its capacity: steady-state contention then allocates nothing.
+				m := copy(r.waiters, r.waiters[1:])
+				r.waiters = r.waiters[:m]
 			}
 			r.account()
 			r.avail -= n

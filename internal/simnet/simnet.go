@@ -8,9 +8,19 @@
 // one process runs at a time. The kernel hands a "token" to the process that
 // owns the earliest pending event; the process runs until it blocks on a
 // virtual-time primitive (Hold, Chan.Recv, Resource.Acquire, Future.Await)
-// and then returns the token. Events with equal timestamps fire in creation
+// and then passes the token on. Events with equal timestamps fire in creation
 // order (a monotonically increasing sequence number breaks ties), so a given
 // program and seed always produce the same trajectory.
+//
+// Scheduling uses direct handoff: a parking process pops the next runnable
+// event itself and resumes its owner directly, so an event costs one
+// goroutine switch instead of two (park -> kernel -> resume). When the next
+// event belongs to the parking process itself — the common case for a lone
+// process sleeping through Hold — the wake needs no switch at all. The
+// kernel goroutine regains control only when the event queue drains or the
+// Run limit is reached. Event pop order is untouched, so trajectories are
+// identical to the classic two-switch scheduler (DisableDirectHandoff keeps
+// that scheduler available as a test oracle).
 package simnet
 
 import (
@@ -47,6 +57,11 @@ type event struct {
 
 // Kernel is a discrete-event simulation kernel. The zero value is not usable;
 // create one with NewKernel.
+//
+// A Kernel and everything built on it (processes, channels, resources,
+// fabrics, runtimes) is confined to one goroutine-serialized simulation;
+// distinct kernels share nothing and may run concurrently from different
+// goroutines, which is what the parallel experiment harness does.
 type Kernel struct {
 	now     Time
 	seq     uint64
@@ -54,16 +69,24 @@ type Kernel struct {
 	yield   chan struct{}
 	alive   int
 	running bool
+	limit   Time // Run's cutoff, 0 = none; read by dispatch during handoff
+	handoff bool
 	rng     *rand.Rand
 	procSeq int
+
+	// debugCounts, when non-nil, tallies posted events by process name.
+	// Kernel-owned (not a package global) so concurrent kernels never share
+	// a map.
+	debugCounts map[string]int64
 }
 
 // NewKernel returns a kernel with its clock at zero. The seed initializes the
 // kernel-owned random source returned by Rand.
 func NewKernel(seed int64) *Kernel {
 	return &Kernel{
-		yield: make(chan struct{}),
-		rng:   rand.New(rand.NewSource(seed)),
+		yield:   make(chan struct{}),
+		handoff: true,
+		rng:     rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -75,6 +98,26 @@ func (k *Kernel) Now() Time { return k.now }
 // Run.
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
+// DisableDirectHandoff reverts to the classic scheduler in which every wake
+// bounces through the kernel goroutine (two switches per event instead of
+// one). Pop order is identical either way; the slow path exists as a test
+// oracle for trajectory-equality tests and as the baseline in scheduling
+// benchmarks. Must be called before Run.
+func (k *Kernel) DisableDirectHandoff() { k.handoff = false }
+
+// EnableDebugCounts starts tallying posted events by process name; the
+// tallies are returned by DebugCounts. Must be called before Run.
+func (k *Kernel) EnableDebugCounts() {
+	if k.debugCounts == nil {
+		k.debugCounts = make(map[string]int64)
+	}
+}
+
+// DebugCounts returns the per-process-name event tallies, or nil unless
+// EnableDebugCounts was called. The map must not be read while Run is
+// executing on another goroutine.
+func (k *Kernel) DebugCounts() map[string]int64 { return k.debugCounts }
+
 // Proc is a simulation process: a goroutine that runs simulation logic in
 // direct style, blocking on virtual-time primitives.
 type Proc struct {
@@ -83,7 +126,7 @@ type Proc struct {
 	id     int
 	resume chan struct{}
 	done   bool
-	epoch  uint64 // incremented on every park; stale wake events are ignored
+	epoch  uint64 // incremented on every wake; stale wake events are ignored
 	parked bool
 }
 
@@ -99,13 +142,10 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // Now reports the current virtual time.
 func (p *Proc) Now() Time { return p.k.now }
 
-// DebugCounts, when non-nil, tallies posted events by process name.
-var DebugCounts map[string]int64
-
 // post schedules a wake event for p at time t against the given park epoch.
 func (k *Kernel) post(t Time, p *Proc, epoch uint64) {
-	if DebugCounts != nil {
-		DebugCounts[p.name]++
+	if k.debugCounts != nil {
+		k.debugCounts[p.name]++
 	}
 	if t < k.now {
 		t = k.now
@@ -133,18 +173,61 @@ func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 		fn(p)
 		p.done = true
 		k.alive--
-		k.yield <- struct{}{}
+		if k.handoff {
+			k.dispatch(nil)
+		} else {
+			k.yield <- struct{}{}
+		}
 	}()
 	k.post(t, p, p.epoch)
 	return p
 }
 
-// park yields the token to the kernel and blocks until a wake event targeted
-// at the current epoch fires.
+// park yields the token and blocks until a wake event targeted at the
+// current epoch fires. With direct handoff the parking process dispatches
+// the next event itself; if that event wakes this very process, park returns
+// without ever leaving the goroutine.
 func (p *Proc) park() {
 	p.parked = true
-	p.k.yield <- struct{}{}
+	k := p.k
+	if k.handoff {
+		if k.dispatch(p) {
+			return
+		}
+	} else {
+		k.yield <- struct{}{}
+	}
 	<-p.resume
+}
+
+// dispatch fires the next runnable event, transferring control to the
+// process that owns it. It is called with the token held, either by a
+// parking process (self) or by an exiting one (self == nil). Stale events
+// are skipped; if the chosen event wakes self, dispatch reports true and the
+// caller keeps running without a switch. Otherwise the owner is resumed
+// directly — or, when the queue is drained past the limit, the token returns
+// to the kernel goroutine — and the caller blocks (or exits).
+func (k *Kernel) dispatch(self *Proc) bool {
+	for len(k.pq) > 0 {
+		e := k.pq[0]
+		if k.limit > 0 && e.t > k.limit {
+			break
+		}
+		k.pq.pop()
+		if e.p.done || !e.p.parked || e.p.epoch != e.epoch {
+			continue // stale wake
+		}
+		k.now = e.t
+		e.p.parked = false
+		e.p.epoch++
+		if e.p == self {
+			return true
+		}
+		e.p.resume <- struct{}{}
+		return false
+	}
+	k.yield <- struct{}{}
+	return false
 }
 
 // wakeAt schedules a resumption of p at time t, provided p has not been
@@ -177,22 +260,26 @@ func (p *Proc) Yield() { p.Hold(0) }
 
 // Run executes the simulation until no events remain or until limit is
 // reached (limit <= 0 means no limit). It returns the final virtual time.
-// Processes still blocked on channels or resources when the event queue
-// drains are left parked; Stats can be used to detect unexpected deadlock.
+// An event scheduled exactly at the limit still fires; a later Run call
+// (with a larger limit, or none) continues the same trajectory where the
+// previous one stopped. Processes still blocked on channels or resources
+// when the event queue drains are left parked; Stats can be used to detect
+// unexpected deadlock.
 func (k *Kernel) Run(limit Time) Time {
 	if k.running {
 		panic("simnet: Run called reentrantly")
 	}
 	k.running = true
+	k.limit = limit
 	defer func() { k.running = false }()
 	for len(k.pq) > 0 {
-		e := k.pq.pop()
+		e := k.pq[0]
 		if limit > 0 && e.t > limit {
-			// Push back so a later Run can continue.
-			k.pq.push(e)
+			// Leave the event queued so a later Run can continue.
 			k.now = limit
 			return k.now
 		}
+		k.pq.pop()
 		if e.p.done || !e.p.parked || e.p.epoch != e.epoch {
 			continue // stale wake
 		}
@@ -200,6 +287,10 @@ func (k *Kernel) Run(limit Time) Time {
 		e.p.parked = false
 		e.p.epoch++
 		e.p.resume <- struct{}{}
+		// With direct handoff the resumed process and its successors pass
+		// the token among themselves; it comes back here only when the
+		// queue has drained or the limit was reached. With the classic
+		// scheduler every park returns it.
 		<-k.yield
 	}
 	return k.now
