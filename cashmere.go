@@ -65,8 +65,11 @@ type (
 	// Proc is a simulation process (used by custom drivers, e.g. fault
 	// injection).
 	Proc = simnet.Proc
-	// Recorder collects trace spans for Gantt charts.
+	// Recorder collects trace spans, counters and gauges; export with
+	// Recorder.Gantt, Recorder.CSV or Recorder.WriteChromeTrace.
 	Recorder = trace.Recorder
+	// Metrics is the flat name→value set returned by Cluster.CollectMetrics.
+	Metrics = trace.Metrics
 	// Array is an MCPL array value used at verification scale.
 	Array = interp.Array
 	// FeedbackMessage is one piece of MCL compiler feedback.

@@ -58,6 +58,7 @@ func main() {
 	}{
 		{"./internal/simnet/", "BenchmarkSimnetEventLoop", "1s"},
 		{"./internal/network/", "BenchmarkNetworkMessageRate", "1s"},
+		{"./internal/trace/", "BenchmarkTraceOverhead", "1s"},
 		{"./internal/bench/", "BenchmarkFig7Harness", "1x"},
 	}
 	for _, r := range runs {
@@ -78,7 +79,8 @@ func main() {
 	rep := report{
 		Description: "Simulator hot-path benchmarks: per-event scheduling cost " +
 			"(direct handoff vs the recorded two-switch baseline), steady-state network " +
-			"message rate (pooled couriers, zero allocations), and the Fig. 7 harness " +
+			"message rate (pooled couriers, zero allocations), the tracing overhead with " +
+			"the recorder off (must stay 0 allocs/op) and on, and the Fig. 7 harness " +
 			"wall-clock at harness parallelism 1 and 4. Regenerate with: make bench-sim",
 		Date:       time.Now().Format("2006-01-02"),
 		CPU:        cpuModel(),
@@ -89,6 +91,7 @@ func main() {
 		Notes: []string{
 			"baseline: pre-optimization tree (two-switch scheduler, per-message Spawn, sequential harness) on the reference machine",
 			fmt.Sprintf("this run: GOMAXPROCS=%d; the fig7 parallel4/parallel1 ratio is bounded by the host's core count and by the largest single simulation", runtime.GOMAXPROCS(0)),
+			"BenchmarkTraceOverhead/off is the per-call-site cost of disabled tracing (nil recorder); /on is the enabled recording cost paid only under -trace",
 		},
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")

@@ -28,12 +28,41 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"number of simulations to run concurrently (1 = sequential); output is identical at any setting")
+	traceF := flag.String("trace", "",
+		"write a Chrome trace of the heterogeneous k-means run (Figs. 16/17) and exit")
+	metrics := flag.Bool("metrics", false,
+		"print the metrics dump of the heterogeneous k-means run and exit")
 	flag.Parse()
 	bench.SetParallelism(*parallel)
 
 	if *list {
 		for _, e := range experiments {
 			fmt.Println(e)
+		}
+		return
+	}
+	if *traceF != "" || *metrics {
+		cl, err := bench.KMeansHeteroCluster()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cashmere-bench:", err)
+			os.Exit(1)
+		}
+		if *traceF != "" {
+			f, err := os.Create(*traceF)
+			if err == nil {
+				err = cl.Recorder().WriteChromeTrace(f)
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cashmere-bench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s: %d spans, %d counter samples\n", *traceF, cl.Recorder().Len(), cl.Recorder().Samples())
+		}
+		if *metrics {
+			fmt.Print(cl.CollectMetrics().Format())
 		}
 		return
 	}

@@ -29,6 +29,8 @@ func main() {
 		cluster = flag.String("cluster", "", `heterogeneous spec, e.g. "10xgtx480,1xk20+xeon_phi"`)
 		variant = flag.String("variant", "opt", "satin, unopt or opt")
 		gantt   = flag.Bool("gantt", false, "print a Gantt chart of the execution")
+		traceF  = flag.String("trace", "", "write a Chrome trace_event JSON file (load in Perfetto)")
+		metrics = flag.Bool("metrics", false, "print the metrics dump after the run")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		legacy  = flag.Bool("legacy-sched", false,
 			"use the two-switch event scheduler instead of direct handoff (same trajectory, for comparison)")
@@ -41,7 +43,8 @@ func main() {
 
 	cfg := core.DefaultConfig(*nodes, *dev)
 	cfg.Seed = *seed
-	cfg.Record = *gantt
+	cfg.Record = *gantt || *traceF != ""
+	cfg.TraceSched = *traceF != ""
 	if v == apps.Satin {
 		cfg.Satin.WorkersPerNode = 8
 		// Satin's CPU leaves run for seconds; coarse idle backoff keeps the
@@ -100,6 +103,16 @@ func main() {
 	}
 	if *gantt {
 		fmt.Println(cl.Recorder().Gantt(trace.GanttOptions{Width: 110}))
+	}
+	if *traceF != "" {
+		f, e := os.Create(*traceF)
+		die(e)
+		die(cl.Recorder().WriteChromeTrace(f))
+		die(f.Close())
+		fmt.Printf("wrote %s: %d spans, %d counter samples\n", *traceF, cl.Recorder().Len(), cl.Recorder().Samples())
+	}
+	if *metrics {
+		fmt.Print(cl.CollectMetrics().Format())
 	}
 }
 

@@ -3,8 +3,18 @@ package bench
 import (
 	"fmt"
 
+	"cashmere/internal/core"
 	"cashmere/internal/trace"
 )
+
+// KMeansHeteroCluster runs the heterogeneous k-means of Figs. 16/17 with
+// tracing on and returns the finished cluster, so callers can export the
+// recorded spans (Chrome trace JSON) and the run's metrics.
+func KMeansHeteroCluster() (*core.Cluster, error) {
+	cfg := Table3Configs()["kmeans"]
+	_, cl, err := runHetero("kmeans", cfg.Nodes, true)
+	return cl, err
+}
 
 // Fig16Gantt reproduces Fig. 16: a zoomed-in Gantt chart of the
 // heterogeneous k-means execution showing a GTX480 node alongside the node
@@ -25,20 +35,13 @@ func Fig16Gantt() (string, error) {
 	sub := trace.FromSpans(spans)
 	// Zoom to the measured computation: the window starts at the first
 	// kernel execution (skipping the one-time input staging).
-	var first, last trace.Span
-	for i, s := range spans {
-		if s.Kind == trace.KindKernel && (first.End == 0 || s.Start < first.Start) {
-			first = s
-		}
-		if s.End > last.End {
-			last = spans[i]
-		}
-	}
+	first, _ := sub.FirstOfKind(trace.KindKernel)
+	_, to, _ := sub.Window(nil)
 	out := fmt.Sprintf("== fig16: zoomed Gantt of heterogeneous k-means (node 0 = gtx480, node %d = k20+xeon_phi) ==\n", phiNode)
 	out += sub.Gantt(trace.GanttOptions{
 		Width: 110,
 		From:  first.Start,
-		To:    last.End,
+		To:    to,
 	})
 	return out, nil
 }

@@ -39,6 +39,11 @@ type Config struct {
 	Satin  satin.Config
 	Seed   int64
 	Record bool // collect trace spans (Gantt charts)
+	// TraceSched additionally records simulation-kernel scheduler slices
+	// (every process run interval) and event-queue depth under the
+	// trace.NodeKernel pseudo-node. Off by default: it multiplies span volume
+	// and is only wanted for full -trace exports, not ASCII Gantt charts.
+	TraceSched bool
 	// Verify runs every kernel launch through the MCPL interpreter on real
 	// data (the launch must supply Args). Used at verification scale; paper-
 	// scale runs leave it off and only charge modeled time.
@@ -110,6 +115,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	var rec *trace.Recorder
 	if cfg.Record {
 		rec = trace.New()
+		if cfg.TraceSched {
+			k.SetTracer(schedTracer{rec: rec})
+		}
 	}
 	cl := &Cluster{
 		cfg:      cfg,

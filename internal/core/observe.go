@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"cashmere/internal/simnet"
+	"cashmere/internal/trace"
+)
+
+// schedTracer adapts the simnet.Tracer callbacks onto the trace recorder.
+// It lives in core (not simnet) because simnet cannot import trace: trace
+// depends on simnet.Time. Process run slices become KindSched spans on the
+// trace.NodeKernel pseudo-node, one lane per process; event-queue depth
+// becomes a gauge.
+type schedTracer struct {
+	rec *trace.Recorder
+}
+
+func (t schedTracer) ProcSlice(name string, id int, start, end simnet.Time) {
+	t.rec.Add(trace.Span{
+		Node: trace.NodeKernel, Queue: fmt.Sprintf("p%03d", id),
+		Kind: trace.KindSched, Label: name, Start: start, End: end,
+	})
+}
+
+func (t schedTracer) QueueDepth(tm simnet.Time, depth int) {
+	t.rec.GaugeSet(trace.NodeKernel, "simnet.queue_depth", tm, int64(depth))
+}
+
+// CollectMetrics gathers the cluster-wide metrics of a finished (or paused)
+// run: simulation-kernel statistics, Satin runtime statistics, network
+// traffic, device utilization, plus — when tracing is on — every counter the
+// recorder accumulated, per node and summed.
+func (cl *Cluster) CollectMetrics() *trace.Metrics {
+	m := trace.NewMetrics()
+
+	st := cl.k.Stats()
+	m.SetInt("simnet.events", st.Events)
+	m.SetInt("simnet.self_wakes", st.SelfWakes)
+	m.SetInt("simnet.switches", st.Switches)
+	m.SetInt("simnet.stale_wakes", st.Stale)
+	m.SetInt("simnet.spawned_procs", st.Spawns)
+	m.SetInt("simnet.max_queue", int64(st.MaxQueue))
+	m.SetInt("sim.virtual_time_ns", int64(cl.k.Now()))
+
+	m.SetInt("satin.jobs_spawned", cl.rt.JobsSpawned)
+	m.SetInt("satin.jobs_executed", cl.rt.JobsExecuted)
+	m.SetInt("satin.jobs_reexecuted", cl.rt.JobsReExecuted)
+	m.SetInt("satin.steals_ok", cl.rt.StealsOK)
+	m.SetInt("satin.steals_failed", cl.rt.StealsFailed)
+
+	fab := cl.rt.Fabric()
+	m.SetInt("net.bytes_sent", fab.BytesSent())
+	m.SetInt("net.messages_sent", fab.MessagesSent())
+
+	var launches, bytesMoved int64
+	var kernelBusy, xferBusy, overlap simnet.Duration
+	for _, ns := range cl.nodes {
+		for _, d := range ns.Devices {
+			launches += d.Launches()
+			bytesMoved += d.BytesMoved()
+			kernelBusy += d.KernelBusy()
+			xferBusy += d.XferBusy()
+			overlap += d.OverlapLowerBound()
+		}
+	}
+	m.SetInt("mcl.launches", launches)
+	m.SetInt("mcl.bytes_moved", bytesMoved)
+	m.SetInt("mcl.kernel_busy_ns", int64(kernelBusy))
+	m.SetInt("mcl.xfer_busy_ns", int64(xferBusy))
+	m.SetInt("mcl.overlap_lower_bound_ns", int64(overlap))
+	m.SetInt("core.cpu_fallbacks", cl.CPUFallbacks)
+	m.SetFloat("core.flops_charged", cl.FlopsCharged, "flop")
+
+	m.MergeCounters(cl.rec)
+	return m
+}

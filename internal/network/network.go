@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"cashmere/internal/simnet"
+	"cashmere/internal/trace"
 )
 
 // Config describes the fabric.
@@ -85,10 +86,24 @@ type Fabric struct {
 	courierSeq int
 	relays     *simnet.ProcPool
 
+	// rec, when non-nil, receives send/receive spans and per-link byte
+	// counters. Nil tracing keeps the message hot path allocation-free.
+	rec *trace.Recorder
+
 	// Stats.
 	bytesSent int64
 	msgsSent  int64
 }
+
+// SetRecorder installs a trace recorder on the fabric (nil disables).
+// Sends then record sender-side serialization spans ("net.tx" lane:
+// software overhead, egress-link wait and wire time), deliveries record
+// receiver-side spans ("net.rx" lane: propagation and ingress
+// serialization), and both sides accumulate per-node byte counters.
+func (f *Fabric) SetRecorder(rec *trace.Recorder) { f.rec = rec }
+
+// Recorder returns the installed trace recorder (may be nil).
+func (f *Fabric) Recorder() *trace.Recorder { return f.rec }
 
 // courierWork is one in-flight message: the modeled propagation delay and,
 // for bulk transfers, the receive-side link occupancy before delivery.
@@ -109,9 +124,17 @@ type courier struct {
 func (c *courier) loop(p *simnet.Proc) {
 	for {
 		w := c.ch.Recv(p)
+		start := p.Now()
 		p.Hold(w.hold)
 		if w.bulk {
 			w.dst.ingress.Use(p, 1, w.wire)
+		}
+		if c.f.rec.Enabled() {
+			c.f.rec.Add(trace.Span{
+				Node: w.dst.id, Queue: "net.rx", Kind: trace.KindRecv,
+				Label: w.m.Kind, Start: start, End: p.Now(),
+				Attrs: []trace.Attr{trace.Int64Attr("bytes", w.m.Size), trace.Int64Attr("from", int64(w.m.From))},
+			})
 		}
 		w.dst.deliver(w.m)
 		c.f.couriers = append(c.f.couriers, c)
@@ -141,7 +164,23 @@ type Endpoint struct {
 	ingress *simnet.Resource
 	inbox   *simnet.Chan[Message]
 	dead    bool
+
+	// Always-on per-link counters (plain increments, never allocate).
+	bytesOut, bytesIn int64
+	msgsOut, msgsIn   int64
 }
+
+// BytesOut reports the total payload bytes this endpoint injected.
+func (e *Endpoint) BytesOut() int64 { return e.bytesOut }
+
+// BytesIn reports the total payload bytes delivered to this endpoint.
+func (e *Endpoint) BytesIn() int64 { return e.bytesIn }
+
+// MessagesOut reports the number of messages this endpoint injected.
+func (e *Endpoint) MessagesOut() int64 { return e.msgsOut }
+
+// MessagesIn reports the number of messages delivered to this endpoint.
+func (e *Endpoint) MessagesIn() int64 { return e.msgsIn }
 
 // New builds a fabric with n endpoints.
 func New(k *simnet.Kernel, n int, cfg Config) *Fabric {
@@ -212,6 +251,11 @@ func (e *Endpoint) Send(p *simnet.Proc, to int, kind string, size int64, payload
 	m := Message{From: e.id, To: to, Kind: kind, Size: size, Payload: payload, SentAt: e.f.k.Now()}
 	e.f.msgsSent++
 	e.f.bytesSent += size
+	e.msgsOut++
+	e.bytesOut += size
+	if e.f.rec.Enabled() {
+		e.f.rec.CounterAdd(e.id, "net.bytes_out", e.f.k.Now(), size)
+	}
 
 	if to == e.id {
 		// Intra-node delivery: only the software overhead.
@@ -221,6 +265,7 @@ func (e *Endpoint) Send(p *simnet.Proc, to int, kind string, size int64, payload
 	}
 
 	wire := time.Duration(float64(size) / e.f.cfg.Bandwidth * float64(time.Second))
+	start := e.f.k.Now()
 	p.Hold(e.f.cfg.PerMessageCPU)
 	lat := e.f.cfg.Latency
 	if size < ControlThreshold {
@@ -230,6 +275,17 @@ func (e *Endpoint) Send(p *simnet.Proc, to int, kind string, size int64, payload
 		return
 	}
 	e.egress.Use(p, 1, wire)
+	if e.f.rec.Enabled() {
+		// Sender-side occupancy: software overhead, egress-link queueing
+		// wait and wire serialization. The queueing wait is the
+		// contention signal that surfaces the paper's "skewed
+		// computation/communication ratio".
+		e.f.rec.Add(trace.Span{
+			Node: e.id, Queue: "net.tx", Kind: trace.KindSend,
+			Label: kind, Start: start, End: e.f.k.Now(),
+			Attrs: []trace.Attr{trace.Int64Attr("bytes", size), trace.Int64Attr("to", int64(to))},
+		})
+	}
 	// Propagation and receive-side DMA proceed without occupying the sender.
 	e.f.carry(courierWork{dst: dst, m: m, hold: lat, wire: wire, bulk: true})
 }
@@ -237,6 +293,11 @@ func (e *Endpoint) Send(p *simnet.Proc, to int, kind string, size int64, payload
 func (e *Endpoint) deliver(m Message) {
 	if e.dead {
 		return
+	}
+	e.msgsIn++
+	e.bytesIn += m.Size
+	if e.f.rec.Enabled() {
+		e.f.rec.CounterAdd(e.id, "net.bytes_in", e.f.k.Now(), m.Size)
 	}
 	e.inbox.Send(m)
 }

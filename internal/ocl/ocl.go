@@ -43,8 +43,13 @@ type Device struct {
 	rec        *trace.Recorder
 
 	kernelBusy  simnet.Time // accumulated kernel-execution time
+	xferBusy    simnet.Time // accumulated DMA-engine transfer time
 	bytesMoved  int64
 	numLaunches int64
+
+	active      bool        // any kernel or transfer recorded yet
+	firstActive simnet.Time // start of the earliest kernel/transfer
+	lastActive  simnet.Time // end of the latest kernel/transfer
 }
 
 // NewDevice creates a device of the given spec installed in node nodeID.
@@ -81,11 +86,47 @@ func (d *Device) MemFree() int64 { return d.spec.GlobalMem - d.memUsed }
 // executing kernels.
 func (d *Device) KernelBusy() simnet.Duration { return simnet.Duration(d.kernelBusy) }
 
+// XferBusy reports the total virtual time the DMA engines spent moving data.
+func (d *Device) XferBusy() simnet.Duration { return simnet.Duration(d.xferBusy) }
+
 // BytesMoved reports total PCIe traffic in both directions.
 func (d *Device) BytesMoved() int64 { return d.bytesMoved }
 
 // Launches reports the number of kernel launches.
 func (d *Device) Launches() int64 { return d.numLaunches }
+
+// ActiveWindow reports the interval from the start of the device's first
+// kernel or transfer to the end of its last one. ok is false when the device
+// was never used.
+func (d *Device) ActiveWindow() (from, to simnet.Time, ok bool) {
+	return d.firstActive, d.lastActive, d.active
+}
+
+// OverlapLowerBound reports a lower bound on the virtual time during which a
+// data transfer overlapped a kernel execution: total engine busy time in
+// excess of the active window can only come from concurrency (Sec. III-B's
+// "transfers can be completely overlapped with kernel executions").
+func (d *Device) OverlapLowerBound() simnet.Duration {
+	if !d.active {
+		return 0
+	}
+	window := simnet.Duration(d.lastActive - d.firstActive)
+	busy := simnet.Duration(d.kernelBusy + d.xferBusy)
+	if busy <= window {
+		return 0
+	}
+	return busy - window
+}
+
+func (d *Device) noteActive(start, end simnet.Time) {
+	if !d.active || start < d.firstActive {
+		d.firstActive = start
+	}
+	if !d.active || end > d.lastActive {
+		d.lastActive = end
+	}
+	d.active = true
+}
 
 // Buffer is a region of device memory.
 type Buffer struct {
@@ -182,6 +223,9 @@ func (d *Device) transfer(p *simnet.Proc, eng *simnet.Resource, kind trace.Kind,
 	start := d.k.Now()
 	p.Hold(d.spec.TransferTime(n))
 	d.bytesMoved += n
+	d.xferBusy += d.k.Now() - start
+	d.noteActive(start, d.k.Now())
+	d.rec.CounterAdd(d.nodeID, "mcl.bytes_moved", d.k.Now(), n)
 	lane := d.Name() + ".xfer"
 	if d.spec.DMAEngines >= 2 && kind == trace.KindD2H {
 		lane = d.Name() + ".xfer2"
@@ -201,6 +245,8 @@ func (d *Device) Launch(p *simnet.Proc, cost device.KernelCost, label string) ti
 	p.Hold(t)
 	d.numLaunches++
 	d.kernelBusy += simnet.Time(t)
+	d.noteActive(start, d.k.Now())
+	d.rec.CounterAdd(d.nodeID, "mcl.launches", d.k.Now(), 1)
 	d.span(d.Name()+".kern", trace.KindKernel, label, start)
 	d.compute.Release(1)
 	return t

@@ -59,6 +59,7 @@ func (c *Context) Compute(d simnet.Duration, label string) {
 func (c *Context) Spawn(desc JobDesc, fn func(ctx *Context) any) *Promise {
 	rt := c.node.rt
 	rt.JobsSpawned++
+	rt.rec.CounterAdd(c.node.ID, "satin.spawns", c.p.Now(), 1)
 	rt.nextJob++
 	job := &Job{
 		ID:     rt.nextJob,
@@ -82,6 +83,7 @@ func (c *Context) Spawn(desc JobDesc, fn func(ctx *Context) any) *Promise {
 		return &Promise{job: job}
 	}
 	c.node.deque = append(c.node.deque, job)
+	c.node.noteQueueDepth()
 	return &Promise{job: job}
 }
 

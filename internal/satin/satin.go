@@ -161,6 +161,7 @@ func New(k *simnet.Kernel, n int, netCfg network.Config, cfg Config, rec *trace.
 		rec:    rec,
 		pool:   simnet.NewProcPool(k, "satin.pool"),
 	}
+	rt.fabric.SetRecorder(rec)
 	for i := 0; i < n; i++ {
 		rt.nodes = append(rt.nodes, &Node{
 			ID:           i,
@@ -265,6 +266,7 @@ func (n *Node) popLocal() *Job {
 	}
 	j := n.deque[len(n.deque)-1]
 	n.deque = n.deque[:len(n.deque)-1]
+	n.noteQueueDepth()
 	return j
 }
 
@@ -276,6 +278,7 @@ func (n *Node) popSteal() *Job {
 	if n.rt.cfg.StealOldest {
 		j := n.deque[0]
 		n.deque = n.deque[1:]
+		n.noteQueueDepth()
 		return j
 	}
 	return n.popLocal()
@@ -297,6 +300,7 @@ func (n *Node) trySteal(p *simnet.Proc, workerID int) *Job {
 		if victim < 0 {
 			return nil
 		}
+		probeStart := p.Now()
 		key := workerID
 		reply := n.stealReply[key]
 		if reply == nil {
@@ -323,13 +327,29 @@ func (n *Node) trySteal(p *simnet.Proc, workerID int) *Job {
 			}
 			if extra != nil && extra != jobGranted {
 				n.deque = append(n.deque, extra)
+				n.noteQueueDepth()
 			}
 		}
 		if ok && job != nil && job != jobGranted {
 			rt.StealsOK++
+			if rt.rec.Enabled() {
+				// Thief-side steal latency: request send to job-in-hand,
+				// including the input-data transfer (Fig. 16's narrow
+				// steal bars; the lane is the probing worker's).
+				rt.rec.Add(trace.Span{
+					Node: n.ID, Queue: "q0", Kind: trace.KindSteal,
+					Label: "steal:" + job.Desc.Name, Start: probeStart, End: p.Now(),
+					Attrs: []trace.Attr{
+						trace.Int64Attr("victim", int64(victim)),
+						trace.Int64Attr("input_bytes", job.Desc.InputBytes),
+					},
+				})
+				rt.rec.CounterAdd(n.ID, "satin.steals_ok", p.Now(), 1)
+			}
 			return job
 		}
 		rt.StealsFailed++
+		rt.rec.CounterAdd(n.ID, "satin.steals_failed", p.Now(), 1)
 	}
 	return nil
 }
@@ -409,6 +429,7 @@ func (n *Node) commLoop(p *simnet.Proc) {
 			} else if rep.Job != nil && rep.Job != jobGranted {
 				// The worker gave up waiting; keep the job rather than lose it.
 				n.deque = append(n.deque, rep.Job)
+				n.noteQueueDepth()
 			}
 		case "result":
 			res := m.Payload.(resultMsg)
@@ -432,12 +453,20 @@ func (n *Node) span(kind trace.Kind, label string, start simnet.Time) {
 	})
 }
 
+// noteQueueDepth samples the deque-depth gauge after a deque mutation.
+func (n *Node) noteQueueDepth() {
+	if n.rt.rec.Enabled() {
+		n.rt.rec.GaugeSet(n.ID, "satin.queue_depth", n.rt.k.Now(), int64(len(n.deque)))
+	}
+}
+
 // runJob executes a job on this node (as its own frame) and delivers the
 // result: locally by completing the future, or over the network if the job
 // was stolen from another node.
 func (n *Node) runJob(p *simnet.Proc, workerID int, job *Job) {
 	rt := n.rt
 	rt.JobsExecuted++
+	rt.rec.CounterAdd(n.ID, "satin.jobs_executed", p.Now(), 1)
 	ctx := &Context{p: p, node: n, workerID: workerID}
 	v := job.fn(ctx)
 	if job.owner == n.ID {
@@ -459,6 +488,7 @@ func (rt *Runtime) Kill(id int) {
 	victim := rt.nodes[id]
 	victim.dead = true
 	victim.ep.Kill()
+	rt.rec.CounterAdd(id, "satin.crashes", rt.k.Now(), 1)
 	// Jobs the victim had stolen are re-executed by their owners.
 	for _, n := range rt.nodes {
 		if n.dead {
@@ -469,6 +499,8 @@ func (rt *Runtime) Kill(id int) {
 				delete(n.outstanding, jid)
 				n.deque = append(n.deque, rec.job)
 				rt.JobsReExecuted++
+				rt.rec.CounterAdd(n.ID, "satin.reexecutions", rt.k.Now(), 1)
+				n.noteQueueDepth()
 			}
 		}
 	}
@@ -479,7 +511,10 @@ func (rt *Runtime) Kill(id int) {
 		if owner := rt.nodes[job.owner]; job.owner != id && !owner.dead {
 			owner.deque = append(owner.deque, job)
 			rt.JobsReExecuted++
+			rt.rec.CounterAdd(job.owner, "satin.reexecutions", rt.k.Now(), 1)
+			owner.noteQueueDepth()
 		}
 	}
 	victim.deque = nil
+	victim.noteQueueDepth()
 }

@@ -78,7 +78,49 @@ type Kernel struct {
 	// Kernel-owned (not a package global) so concurrent kernels never share
 	// a map.
 	debugCounts map[string]int64
+
+	// stats are the always-on scheduling counters returned by Stats. Plain
+	// integer increments on the hot path cost nothing measurable and never
+	// allocate, so they need no enable switch.
+	stats Stats
+
+	// tracer, when non-nil, receives scheduling callbacks (process run
+	// slices, event-queue depth). The package cannot import the trace
+	// package (trace depends on simnet for Time), so the observability
+	// layer installs an adapter through this interface. A nil tracer costs
+	// one pointer check per park.
+	tracer Tracer
 }
+
+// Stats are the kernel's scheduling counters, maintained unconditionally.
+type Stats struct {
+	Events    int64 // events dispatched (process wakes)
+	SelfWakes int64 // direct-handoff wakes that needed no goroutine switch
+	Switches  int64 // goroutine switches performed to resume a process
+	Stale     int64 // stale wake events skipped (superseded parks)
+	Spawns    int64 // processes created
+	MaxQueue  int   // high-water mark of the pending event queue
+}
+
+// Stats returns a snapshot of the scheduling counters. It must not be
+// called while Run is executing on another goroutine.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// Tracer receives scheduling instrumentation from a running kernel. The
+// observability layer implements it to convert callbacks into trace spans
+// and gauges; see SetTracer.
+type Tracer interface {
+	// ProcSlice reports that process name/id held the token from start
+	// until it parked (or exited) at end, in virtual time.
+	ProcSlice(name string, id int, start, end Time)
+	// QueueDepth reports the pending-event-queue depth at time t, sampled
+	// once per dispatched event.
+	QueueDepth(t Time, depth int)
+}
+
+// SetTracer installs a scheduling tracer (nil disables). Must be called
+// before Run.
+func (k *Kernel) SetTracer(tr Tracer) { k.tracer = tr }
 
 // NewKernel returns a kernel with its clock at zero. The seed initializes the
 // kernel-owned random source returned by Rand.
@@ -128,6 +170,8 @@ type Proc struct {
 	done   bool
 	epoch  uint64 // incremented on every wake; stale wake events are ignored
 	parked bool
+
+	wokenAt Time // when the proc last received the token (for Tracer slices)
 }
 
 // Name reports the name given at Spawn time.
@@ -152,6 +196,9 @@ func (k *Kernel) post(t Time, p *Proc, epoch uint64) {
 	}
 	k.seq++
 	k.pq.push(event{t: t, seq: k.seq, p: p, epoch: epoch})
+	if n := len(k.pq); n > k.stats.MaxQueue {
+		k.stats.MaxQueue = n
+	}
 }
 
 // Spawn creates a process executing fn and schedules it to start at the
@@ -167,11 +214,15 @@ func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 	k.procSeq++
 	p := &Proc{k: k, name: name, id: k.procSeq, resume: make(chan struct{})}
 	k.alive++
+	k.stats.Spawns++
 	p.parked = true // the initial start event wakes it
 	go func() {
 		<-p.resume
 		fn(p)
 		p.done = true
+		if k.tracer != nil {
+			k.tracer.ProcSlice(p.name, p.id, p.wokenAt, k.now)
+		}
 		k.alive--
 		if k.handoff {
 			k.dispatch(nil)
@@ -190,6 +241,9 @@ func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 func (p *Proc) park() {
 	p.parked = true
 	k := p.k
+	if k.tracer != nil {
+		k.tracer.ProcSlice(p.name, p.id, p.wokenAt, k.now)
+	}
 	if k.handoff {
 		if k.dispatch(p) {
 			return
@@ -215,14 +269,22 @@ func (k *Kernel) dispatch(self *Proc) bool {
 		}
 		k.pq.pop()
 		if e.p.done || !e.p.parked || e.p.epoch != e.epoch {
+			k.stats.Stale++
 			continue // stale wake
 		}
 		k.now = e.t
+		k.stats.Events++
+		if k.tracer != nil {
+			k.tracer.QueueDepth(e.t, len(k.pq))
+		}
 		e.p.parked = false
 		e.p.epoch++
+		e.p.wokenAt = e.t
 		if e.p == self {
+			k.stats.SelfWakes++
 			return true
 		}
+		k.stats.Switches++
 		e.p.resume <- struct{}{}
 		return false
 	}
@@ -281,11 +343,18 @@ func (k *Kernel) Run(limit Time) Time {
 		}
 		k.pq.pop()
 		if e.p.done || !e.p.parked || e.p.epoch != e.epoch {
+			k.stats.Stale++
 			continue // stale wake
 		}
 		k.now = e.t
+		k.stats.Events++
+		k.stats.Switches++
+		if k.tracer != nil {
+			k.tracer.QueueDepth(e.t, len(k.pq))
+		}
 		e.p.parked = false
 		e.p.epoch++
+		e.p.wokenAt = e.t
 		e.p.resume <- struct{}{}
 		// With direct handoff the resumed process and its successors pass
 		// the token among themselves; it comes back here only when the

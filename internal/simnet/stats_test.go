@@ -1,0 +1,95 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestKernelStats(t *testing.T) {
+	k := NewKernel(1)
+	ch := NewChan[int](k)
+	k.Spawn("recv", func(p *Proc) {
+		ch.Recv(p)
+	})
+	k.Spawn("send", func(p *Proc) {
+		p.Hold(time.Millisecond) // self-wake
+		ch.Send(7)
+	})
+	k.Run(0)
+	st := k.Stats()
+	if st.Spawns != 2 {
+		t.Fatalf("Spawns = %d, want 2", st.Spawns)
+	}
+	if st.Events == 0 {
+		t.Fatalf("Events = 0")
+	}
+	if st.SelfWakes == 0 {
+		t.Fatalf("SelfWakes = 0: Hold should be a self-wake")
+	}
+	if st.Switches == 0 {
+		t.Fatalf("Switches = 0: the channel handoff needs a switch")
+	}
+	if st.SelfWakes+st.Switches+st.Stale != st.Events {
+		t.Fatalf("stats don't add up: %+v", st)
+	}
+	if st.MaxQueue == 0 {
+		t.Fatalf("MaxQueue = 0")
+	}
+}
+
+func TestStaleWakesCounted(t *testing.T) {
+	k := NewKernel(1)
+	ch := NewChan[int](k)
+	k.Spawn("recv", func(p *Proc) {
+		// The timeout event outlives the successful receive and arrives
+		// stale.
+		ch.RecvTimeout(p, time.Second)
+	})
+	k.Spawn("send", func(p *Proc) {
+		p.Hold(time.Millisecond)
+		ch.Send(1)
+	})
+	k.Run(0)
+	if st := k.Stats(); st.Stale == 0 {
+		t.Fatalf("Stale = 0, want the abandoned timeout counted: %+v", st)
+	}
+}
+
+// recordingTracer captures the Tracer callbacks for inspection.
+type recordingTracer struct {
+	slices []string
+	depths int
+}
+
+func (r *recordingTracer) ProcSlice(name string, id int, start, end Time) {
+	r.slices = append(r.slices, name)
+	if end < start {
+		panic("slice ends before it starts")
+	}
+}
+
+func (r *recordingTracer) QueueDepth(t Time, depth int) { r.depths++ }
+
+func TestTracerReceivesProcSlices(t *testing.T) {
+	k := NewKernel(1)
+	tr := &recordingTracer{}
+	k.SetTracer(tr)
+	ch := NewChan[int](k)
+	k.Spawn("recv", func(p *Proc) { ch.Recv(p) })
+	k.Spawn("send", func(p *Proc) {
+		p.Hold(time.Millisecond)
+		ch.Send(1)
+	})
+	k.Run(0)
+	var sawRecv, sawSend bool
+	for _, n := range tr.slices {
+		sawRecv = sawRecv || n == "recv"
+		sawSend = sawSend || n == "send"
+	}
+	if !sawRecv || !sawSend {
+		t.Fatalf("slices %v missing a process", tr.slices)
+	}
+	if tr.depths == 0 {
+		t.Fatal("no queue-depth samples")
+	}
+}

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteChromeTrace exports the recorder's spans, counters and gauges in the
+// Chrome trace_event JSON format (the "JSON Array Format" every Chromium
+// tracing consumer understands; load the file in Perfetto or
+// chrome://tracing to browse the run).
+//
+// Mapping:
+//
+//   - every cluster node becomes a process (pid = node+1, named "node N");
+//     the simulation kernel's own lanes go to pid 0, named "simnet"
+//   - every (node, queue) lane becomes a named thread; spans are complete
+//     ("X") events with ts/dur in microseconds of virtual time, the span
+//     Kind as the category and the attributes as args
+//   - counter and gauge samples become counter ("C") events, which Perfetto
+//     renders as value-over-time tracks
+//
+// The output is deterministic for a given recorder: metadata first (sorted
+// by pid, tid), then spans sorted by start time, then counter and gauge
+// samples in record order, one event per line.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	type event struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat,omitempty"`
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Ts   float64        `json:"ts"`
+		Dur  *float64       `json:"dur,omitempty"`
+		Args map[string]any `json:"args,omitempty"`
+	}
+	us := func(t int64) float64 { return float64(t) / 1e3 }
+	pidOf := func(node int) int { return node + 1 } // NodeKernel (-1) -> pid 0
+
+	spans := r.Spans()
+
+	// Assign lane tids: per node, queues sorted, numbered from 1 (tid 0 is
+	// reserved for counter tracks).
+	type laneKey struct {
+		node  int
+		queue string
+	}
+	laneSet := map[laneKey]bool{}
+	for _, s := range spans {
+		laneSet[laneKey{s.Node, s.Queue}] = true
+	}
+	lanes := make([]laneKey, 0, len(laneSet))
+	for k := range laneSet {
+		lanes = append(lanes, k)
+	}
+	sort.Slice(lanes, func(i, j int) bool {
+		if lanes[i].node != lanes[j].node {
+			return lanes[i].node < lanes[j].node
+		}
+		return lanes[i].queue < lanes[j].queue
+	})
+	tids := make(map[laneKey]int, len(lanes))
+	next := map[int]int{}
+	nodeSet := map[int]bool{}
+	for _, k := range lanes {
+		next[k.node]++
+		tids[k] = next[k.node]
+		nodeSet[k.node] = true
+	}
+	if r != nil {
+		for _, c := range r.counters {
+			nodeSet[c.node] = true
+		}
+		for _, g := range r.gauges {
+			nodeSet[g.node] = true
+		}
+	}
+	nodes := make([]int, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+
+	var events []event
+	for _, n := range nodes {
+		name := fmt.Sprintf("node %d", n)
+		if n == NodeKernel {
+			name = "simnet"
+		}
+		events = append(events, event{
+			Name: "process_name", Ph: "M", Pid: pidOf(n),
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, k := range lanes {
+		events = append(events, event{
+			Name: "thread_name", Ph: "M", Pid: pidOf(k.node), Tid: tids[k],
+			Args: map[string]any{"name": k.queue},
+		})
+	}
+	for _, s := range spans {
+		dur := us(int64(s.End - s.Start))
+		var args map[string]any
+		if len(s.Attrs) > 0 {
+			args = make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				args[a.Key] = a.Val
+			}
+		}
+		events = append(events, event{
+			Name: s.Label, Cat: string(s.Kind), Ph: "X",
+			Pid: pidOf(s.Node), Tid: tids[laneKey{s.Node, s.Queue}],
+			Ts: us(int64(s.Start)), Dur: &dur, Args: args,
+		})
+	}
+	if r != nil {
+		for _, samples := range [][]counterSample{r.counters, r.gauges} {
+			for _, c := range samples {
+				events = append(events, event{
+					Name: c.name, Ph: "C", Pid: pidOf(c.node),
+					Ts:   us(int64(c.t)),
+					Args: map[string]any{"value": c.v},
+				})
+			}
+		}
+	}
+
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\n\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, e := range events {
+		buf, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(events)-1 {
+			sep = "\n"
+		}
+		if _, err := w.Write(append(buf, sep...)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}
