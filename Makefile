@@ -5,7 +5,7 @@ GO ?= go
 # few points of headroom so refactors don't flap, but catches real erosion.
 COVER_FLOOR ?= 65.0
 
-.PHONY: check lint vet build test race cover bench bench-sim
+.PHONY: check lint vet build test race cover bench bench-sim bench-allocs
 
 # check runs everything CI runs (minus the version matrix).
 check: lint build test race cover
@@ -52,6 +52,21 @@ bench:
 
 # bench-sim regenerates the simulator hot-path numbers recorded in
 # BENCH_sim.json (event-loop cost, network message rate, tracing overhead,
-# Fig. 7 harness wall-clock at parallelism 1 and 4).
+# device launch path, Fig. 7 harness wall-clock at parallelism 1 and 4) and
+# prints per-benchmark deltas against the committed file before overwriting.
 bench-sim:
 	$(GO) run ./cmd/bench-sim
+
+# bench-allocs enforces the pinned zero-allocation contracts: the simnet
+# event loop, the pooled network message path, disabled tracing, and the
+# device-runtime enqueue path (BenchmarkLaunchPath) must all report
+# 0 allocs/op. CI fails if any of them regresses above zero.
+bench-allocs:
+	@$(GO) test -run xxx -benchmem -benchtime 2000x \
+		-bench 'BenchmarkSimnetEventLoop|BenchmarkNetworkMessageRate|BenchmarkTraceOverhead|BenchmarkLaunchPath' \
+		./internal/simnet/ ./internal/network/ ./internal/trace/ ./internal/ocl/ | tee bench-allocs.out
+	@bad=$$(awk '/allocs\/op/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
+		if (name ~ /^(BenchmarkSimnetEventLoop\/hold|BenchmarkSimnetEventLoop\/pingpong|BenchmarkNetworkMessageRate\/bulk|BenchmarkNetworkMessageRate\/ctl|BenchmarkTraceOverhead\/off|BenchmarkTraceOverhead\/off\/span-only|BenchmarkTraceOverheadDevice\/off|BenchmarkLaunchPath)$$/ \
+		&& $$(NF-1)+0 > 0) print name, $$(NF-1), "allocs/op" }' bench-allocs.out); \
+	if [ -n "$$bad" ]; then echo "zero-alloc benchmarks regressed:"; echo "$$bad"; exit 1; fi; \
+	echo "all pinned benchmarks at 0 allocs/op"

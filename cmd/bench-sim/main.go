@@ -59,6 +59,7 @@ func main() {
 		{"./internal/simnet/", "BenchmarkSimnetEventLoop", "1s"},
 		{"./internal/network/", "BenchmarkNetworkMessageRate", "1s"},
 		{"./internal/trace/", "BenchmarkTraceOverhead", "1s"},
+		{"./internal/ocl/", "BenchmarkLaunchPath", "1s"},
 		{"./internal/bench/", "BenchmarkFig7Harness", "1x"},
 	}
 	for _, r := range runs {
@@ -76,12 +77,16 @@ func main() {
 		results = append(results, parsed...)
 	}
 
+	diffAgainst("BENCH_sim.json", results)
+
 	rep := report{
 		Description: "Simulator hot-path benchmarks: per-event scheduling cost " +
 			"(direct handoff vs the recorded two-switch baseline), steady-state network " +
 			"message rate (pooled couriers, zero allocations), the tracing overhead with " +
-			"the recorder off (must stay 0 allocs/op) and on, and the Fig. 7 harness " +
-			"wall-clock at harness parallelism 1 and 4. Regenerate with: make bench-sim",
+			"the recorder off (must stay 0 allocs/op) and on, the device command-queue " +
+			"launch path (enqueue write/launch/read with events, 0 allocs/op tracing off), " +
+			"and the Fig. 7 harness wall-clock at harness parallelism 1 and 4. " +
+			"Regenerate with: make bench-sim",
 		Date:       time.Now().Format("2006-01-02"),
 		CPU:        cpuModel(),
 		Go:         runtime.Version(),
@@ -92,6 +97,7 @@ func main() {
 			"baseline: pre-optimization tree (two-switch scheduler, per-message Spawn, sequential harness) on the reference machine",
 			fmt.Sprintf("this run: GOMAXPROCS=%d; the fig7 parallel4/parallel1 ratio is bounded by the host's core count and by the largest single simulation", runtime.GOMAXPROCS(0)),
 			"BenchmarkTraceOverhead/off is the per-call-site cost of disabled tracing (nil recorder); /on is the enabled recording cost paid only under -trace",
+			"BenchmarkLaunchPath is one write->launch->read chain through the asynchronous command queues including the blocking wait; make bench-allocs pins its 0 allocs/op",
 		},
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -104,6 +110,40 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "bench-sim: wrote BENCH_sim.json")
+}
+
+// diffAgainst prints per-benchmark deltas between this run and the committed
+// report, so a regeneration shows at a glance what moved and by how much.
+func diffAgainst(path string, results []benchResult) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-sim: no committed %s to diff against\n", path)
+		return
+	}
+	var prev report
+	if err := json.Unmarshal(data, &prev); err != nil {
+		fmt.Fprintf(os.Stderr, "bench-sim: cannot parse committed %s: %v\n", path, err)
+		return
+	}
+	old := map[string]benchResult{}
+	for _, r := range prev.Benchmarks {
+		old[r.Name] = r
+	}
+	fmt.Fprintf(os.Stderr, "bench-sim: deltas vs committed %s (dated %s):\n", path, prev.Date)
+	for _, r := range results {
+		o, ok := old[r.Name]
+		if !ok || o.NsPerOp <= 0 {
+			fmt.Fprintf(os.Stderr, "  %-44s %14.4g ns/op   (new)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		pct := (r.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		fmt.Fprintf(os.Stderr, "  %-44s %14.4g ns/op  %+7.1f%% vs %.4g",
+			r.Name, r.NsPerOp, pct, o.NsPerOp)
+		if r.AllocsPerOp != o.AllocsPerOp {
+			fmt.Fprintf(os.Stderr, "   allocs/op %g -> %g", o.AllocsPerOp, r.AllocsPerOp)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
 }
 
 func runBench(pkg, pattern, benchtime string) (string, error) {

@@ -97,6 +97,10 @@ type NodeState struct {
 	Sched       *Scheduler
 	kernels     map[string][]*codegen.Compiled // kernel name -> per-device compiled form
 	residentVer map[residentKey]int            // device-resident data versions
+	residentEv  map[residentKey]ocl.Event      // in-flight resident transfers
+
+	costCache            map[costKey][]costEntry // memoized MCL cost evaluations
+	costHits, costMisses int64
 }
 
 // residentKey identifies one resident buffer on one device of a node.
@@ -136,6 +140,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			cl: cl, ID: i, Devices: on.Devices,
 			kernels:     map[string][]*codegen.Compiled{},
 			residentVer: map[residentKey]int{},
+			residentEv:  map[residentKey]ocl.Event{},
+			costCache:   map[costKey][]costEntry{},
 		}
 		state.Sched = newScheduler(state)
 		cl.nodes = append(cl.nodes, state)

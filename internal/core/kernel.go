@@ -3,8 +3,27 @@ package core
 import (
 	"fmt"
 
+	"cashmere/internal/device"
+	"cashmere/internal/ocl"
 	"cashmere/internal/satin"
 	"cashmere/internal/simnet"
+)
+
+const (
+	// coalesceLimit is the largest parameter block that rides along a due
+	// resident transfer as one combined enqueue (one PCIe latency instead of
+	// two).
+	coalesceLimit = 64 << 10
+	// streamThreshold is the in-core launch size (in + out bytes) at which
+	// the runtime switches from one write/launch/read triple to a
+	// double-buffered pipeline of passes, overlapping PCIe with compute
+	// within a single launch (Sec. III-B).
+	streamThreshold = 128 << 20
+	// streamChunk is the target per-pass payload of an in-core pipeline.
+	streamChunk = 64 << 20
+	// maxStreamPasses caps pipeline depth: per-pass launch overhead is real,
+	// and past a handful of passes the overlap win is already banked.
+	maxStreamPasses = 8
 )
 
 // Kernel is the handle returned by GetKernel: the named kernel, compiled
@@ -83,10 +102,14 @@ func (l *Launch) OnDevice(d int) *Launch {
 }
 
 // Run executes the full launch cycle, blocking the calling frame in virtual
-// time: schedule onto a device queue, allocate device memory, copy inputs,
-// execute (modeled by the MCL cost descriptor), copy outputs, free memory.
-// With Verify enabled it additionally runs the kernel through the MCPL
-// interpreter on the supplied Args, so results are real and checkable.
+// time: schedule onto a device queue, allocate device memory, then drive the
+// device through its command queues — enqueue the input transfer, the kernel
+// and the output transfer with event dependencies and wait only on the last
+// event. Large in-core launches are split into a double-buffered pipeline of
+// passes so transfers overlap compute within the launch; a due resident
+// transfer absorbs small parameter blocks into one enqueue. With Verify
+// enabled it additionally runs the kernel through the MCPL interpreter on
+// the supplied Args, so results are real and checkable.
 //
 // Errors (unknown parameters, device out of memory) are returned to the
 // caller, whose catch branch runs the CPU fallback (Fig. 4).
@@ -109,7 +132,7 @@ func (l *Launch) Run(ctx *satin.Context) error {
 	dev := ns.Devices[devIdx]
 	compiled := ns.kernels[l.k.name][devIdx]
 
-	cost, err := compiled.Cost(l.spec.Params)
+	cost, err := ns.kernelCost(compiled, l.spec.Params)
 	if err != nil {
 		ns.Sched.Done(l.k.name, devIdx, est, 0)
 		return err
@@ -123,7 +146,7 @@ func (l *Launch) Run(ctx *satin.Context) error {
 	total := l.spec.InBytes + l.spec.OutBytes
 	if total > dev.Spec().GlobalMem {
 		if l.spec.OutOfCore {
-			return l.runOutOfCore(ctx, devIdx, est)
+			return l.runOutOfCore(ctx, devIdx, est, cost)
 		}
 		ns.Sched.Done(l.k.name, devIdx, est, 0)
 		ns.cl.CPUFallbacks++
@@ -137,19 +160,65 @@ func (l *Launch) Run(ctx *satin.Context) error {
 	}
 	defer buf.Free()
 
+	tracing := dev.Tracing()
+	in, out := l.spec.InBytes, l.spec.OutBytes
+
+	// hdep is the host->device event the kernel must follow in addition to
+	// the implicit in-order queue ordering: the resident transfer, when one
+	// is due or still in flight from a concurrent launch.
+	var hdep ocl.Event
 	if r := l.spec.Resident; r != nil {
 		key := residentKey{dev: devIdx, tag: r.Tag}
 		if ns.residentVer[key] != r.Version {
-			dev.WriteBytes(p, r.Bytes, l.spec.Label+":"+r.Tag)
 			ns.residentVer[key] = r.Version
+			rb := r.Bytes
+			var label string
+			if tracing {
+				label = l.spec.Label + ":" + r.Tag
+			}
+			// Coalesce a small parameter block into the due resident
+			// transfer: one enqueue, one PCIe latency.
+			if in > 0 && in <= coalesceLimit {
+				rb += in
+				in = 0
+				if tracing {
+					label += "+in"
+				}
+			}
+			hdep = dev.EnqueueWrite(rb, label)
+			ns.residentEv[key] = hdep
+		} else {
+			// The data is current, but a concurrent launch may still have
+			// its transfer on the wire; order behind it instead of assuming.
+			hdep = ns.residentEv[key]
 		}
 	}
-	if l.spec.InBytes > 0 {
-		dev.WriteBytes(p, l.spec.InBytes, l.spec.Label+":in")
-	}
-	measured := dev.Launch(p, cost, l.spec.Label)
-	if l.spec.OutBytes > 0 {
-		dev.ReadBytes(p, l.spec.OutBytes, l.spec.Label+":out")
+
+	var measured simnet.Duration
+	if in+out >= streamThreshold {
+		measured = l.streamPasses(p, dev, cost, in, out, inCorePasses(in+out), hdep, false, tracing)
+	} else {
+		if in > 0 {
+			var label string
+			if tracing {
+				label = l.spec.Label + ":in"
+			}
+			hdep = dev.EnqueueWrite(in, label, hdep)
+		}
+		var klabel string
+		if tracing {
+			klabel = l.spec.Label
+		}
+		last := dev.EnqueueLaunch(cost, klabel, hdep)
+		measured = dev.Spec().KernelTime(cost)
+		if out > 0 {
+			var label string
+			if tracing {
+				label = l.spec.Label + ":out"
+			}
+			last = dev.EnqueueRead(out, label, last)
+		}
+		last.Wait(p)
 	}
 	ns.Sched.Done(l.k.name, devIdx, est, measured)
 	ns.cl.FlopsCharged += cost.Flops
@@ -162,61 +231,104 @@ func (l *Launch) Run(ctx *satin.Context) error {
 	return nil
 }
 
-// runOutOfCore streams a launch whose data exceeds device memory: the
-// input is staged in chunks of half the device memory (leaving room for
-// double buffering), each pass runs the proportional slice of the kernel,
-// and the proportional slice of the output drains after it. Transfers of
-// pass i+1 overlap the kernel of pass i through the independent DMA and
-// compute engines.
-func (l *Launch) runOutOfCore(ctx *satin.Context, devIdx int, est simnet.Duration) error {
+// inCorePasses picks the pipeline depth for a large in-core launch.
+func inCorePasses(total int64) int {
+	p := int((total + streamChunk - 1) / streamChunk)
+	if p < 2 {
+		p = 2
+	}
+	if p > maxStreamPasses {
+		p = maxStreamPasses
+	}
+	return p
+}
+
+// streamPasses drives one launch as `passes` write->launch->read slices over
+// the device's in-order queues — the Sec. III-B pipeline. The write of pass
+// i+1 rides the H2D queue behind the write of pass i and therefore overlaps
+// kernel i; each kernel depends on its own write, each read on its kernel.
+// With chunked staging (out-of-core: only two chunks of device memory), the
+// write of pass i additionally waits for the read of pass i-2 — the previous
+// tenant of its staging chunk. Remainder bytes fold into the last pass so
+// modeled PCIe traffic is byte-exact. No process is spawned: the calling
+// proc enqueues everything and waits once on the final event. Returns the
+// summed modeled kernel time.
+func (l *Launch) streamPasses(p *simnet.Proc, dev *ocl.Device, cost device.KernelCost, inTotal, outTotal int64, passes int, hdep ocl.Event, chunked, tracing bool) simnet.Duration {
+	passCost := cost
+	passCost.Flops /= float64(passes)
+	passCost.MemBytes /= float64(passes)
+	inPass := inTotal / int64(passes)
+	outPass := outTotal / int64(passes)
+	kt := dev.Spec().KernelTime(passCost)
+
+	var reads [2]ocl.Event // ring of staging-chunk tenants (chunked only)
+	var measured simnet.Duration
+	var last ocl.Event
+	for i := 0; i < passes; i++ {
+		in, out := inPass, outPass
+		if i == passes-1 {
+			in += inTotal - inPass*int64(passes)
+			out += outTotal - outPass*int64(passes)
+		}
+		var stage ocl.Event
+		if chunked {
+			stage = reads[i%2]
+		}
+		w := stage
+		if in > 0 {
+			var label string
+			if tracing {
+				label = fmt.Sprintf("%s:in.%d", l.spec.Label, i)
+			}
+			w = dev.EnqueueWrite(in, label, stage, hdep)
+		}
+		var klabel string
+		if tracing {
+			klabel = fmt.Sprintf("%s.%d", l.spec.Label, i)
+		}
+		kev := dev.EnqueueLaunch(passCost, klabel, w, hdep)
+		measured += kt
+		r := kev
+		if out > 0 {
+			var label string
+			if tracing {
+				label = fmt.Sprintf("%s:out.%d", l.spec.Label, i)
+			}
+			r = dev.EnqueueRead(out, label, kev)
+		}
+		reads[i%2] = r
+		last = r
+	}
+	last.Wait(p)
+	return measured
+}
+
+// runOutOfCore streams a launch whose data exceeds device memory through two
+// staging chunks of a quarter of device memory each: pass i stages into the
+// chunk pass i-2 used, so its write depends on that pass's read and double
+// buffering falls out of the event graph. Transfers of pass i+1 overlap the
+// kernel of pass i through the independent DMA and compute queues, with no
+// per-pass process spawned.
+func (l *Launch) runOutOfCore(ctx *satin.Context, devIdx int, est simnet.Duration, cost device.KernelCost) error {
 	ns := l.k.ns
 	p := ctx.Proc()
 	dev := ns.Devices[devIdx]
 	compiled := ns.kernels[l.k.name][devIdx]
 
-	cost, err := compiled.Cost(l.spec.Params)
-	if err != nil {
-		ns.Sched.Done(l.k.name, devIdx, est, 0)
-		return err
-	}
-	chunk := dev.Spec().GlobalMem / 2
+	chunk := dev.Spec().GlobalMem / 4
 	total := l.spec.InBytes + l.spec.OutBytes
 	passes := int((total + chunk - 1) / chunk)
-	if passes < 1 {
-		passes = 1
+	if passes < 2 {
+		passes = 2
 	}
-	passCost := cost
-	passCost.Flops /= float64(passes)
-	passCost.MemBytes /= float64(passes)
-	inPass := l.spec.InBytes / int64(passes)
-	outPass := l.spec.OutBytes / int64(passes)
-
-	buf, err := dev.AllocBlocking(p, chunk)
+	buf, err := dev.AllocBlocking(p, 2*chunk)
 	if err != nil {
 		ns.Sched.Done(l.k.name, devIdx, est, 0)
 		return err
 	}
 	defer buf.Free()
 
-	var measured simnet.Duration
-	done := simnet.NewWaitGroup(ns.cl.k)
-	for pass := 0; pass < passes; pass++ {
-		pass := pass
-		done.Add(1)
-		// Each pass is its own thread, so pass i+1's input staging overlaps
-		// pass i's kernel (the engines serialize what must serialize).
-		ns.cl.k.Spawn(fmt.Sprintf("ooc.%s.%d", l.spec.Label, pass), func(sp *simnet.Proc) {
-			defer done.Done()
-			if inPass > 0 {
-				dev.WriteBytes(sp, inPass, fmt.Sprintf("%s:in.%d", l.spec.Label, pass))
-			}
-			measured += dev.Launch(sp, passCost, fmt.Sprintf("%s.%d", l.spec.Label, pass))
-			if outPass > 0 {
-				dev.ReadBytes(sp, outPass, fmt.Sprintf("%s:out.%d", l.spec.Label, pass))
-			}
-		})
-	}
-	done.Wait(p)
+	measured := l.streamPasses(p, dev, cost, l.spec.InBytes, l.spec.OutBytes, passes, ocl.Event{}, true, dev.Tracing())
 	ns.Sched.Done(l.k.name, devIdx, est, measured)
 	ns.cl.FlopsCharged += cost.Flops
 	if ns.cl.cfg.Verify {

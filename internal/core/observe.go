@@ -39,6 +39,7 @@ func (cl *Cluster) CollectMetrics() *trace.Metrics {
 	m.SetInt("simnet.self_wakes", st.SelfWakes)
 	m.SetInt("simnet.switches", st.Switches)
 	m.SetInt("simnet.stale_wakes", st.Stale)
+	m.SetInt("simnet.callbacks", st.Callbacks)
 	m.SetInt("simnet.spawned_procs", st.Spawns)
 	m.SetInt("simnet.max_queue", int64(st.MaxQueue))
 	m.SetInt("sim.virtual_time_ns", int64(cl.k.Now()))
@@ -54,6 +55,7 @@ func (cl *Cluster) CollectMetrics() *trace.Metrics {
 	m.SetInt("net.messages_sent", fab.MessagesSent())
 
 	var launches, bytesMoved int64
+	var costHits, costMisses int64
 	var kernelBusy, xferBusy, overlap simnet.Duration
 	for _, ns := range cl.nodes {
 		for _, d := range ns.Devices {
@@ -63,6 +65,8 @@ func (cl *Cluster) CollectMetrics() *trace.Metrics {
 			xferBusy += d.XferBusy()
 			overlap += d.OverlapLowerBound()
 		}
+		costHits += ns.costHits
+		costMisses += ns.costMisses
 	}
 	m.SetInt("mcl.launches", launches)
 	m.SetInt("mcl.bytes_moved", bytesMoved)
@@ -70,6 +74,8 @@ func (cl *Cluster) CollectMetrics() *trace.Metrics {
 	m.SetInt("mcl.xfer_busy_ns", int64(xferBusy))
 	m.SetInt("mcl.overlap_lower_bound_ns", int64(overlap))
 	m.SetInt("core.cpu_fallbacks", cl.CPUFallbacks)
+	m.SetInt("core.cost_cache_hits", costHits)
+	m.SetInt("core.cost_cache_misses", costMisses)
 	m.SetFloat("core.flops_charged", cl.FlopsCharged, "flop")
 
 	m.MergeCounters(cl.rec)

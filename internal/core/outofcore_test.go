@@ -70,6 +70,40 @@ func TestOversizedLaunchWithoutOutOfCoreFails(t *testing.T) {
 	}
 }
 
+func TestOutOfCoreExactBytesWithRemainder(t *testing.T) {
+	// Sizes deliberately not divisible by the pass count: the integer split
+	// must fold the remainder into the last pass so modeled PCIe traffic is
+	// byte-exact, not short by up to passes-1 bytes per direction.
+	cfg := DefaultConfig(1, "gtx480")
+	cl, _ := NewCluster(cfg)
+	cl.Register(mustKS(t, "scale", scaleKernel))
+	const in = int64(6<<30) + 7919 // prime tail
+	const out = int64(1<<30) + 104729
+	cl.Run(func(ctx *satin.Context) any {
+		k, _ := GetKernel(ctx, "scale")
+		if err := k.NewLaunch(LaunchSpec{
+			Params:    map[string]int64{"n": 1 << 28},
+			InBytes:   in,
+			OutBytes:  out,
+			OutOfCore: true,
+		}).Run(ctx); err != nil {
+			t.Error(err)
+		}
+		return nil
+	})
+	dev := cl.NodeState(0).Devices[0]
+	if dev.BytesMoved() != in+out {
+		t.Fatalf("moved %d bytes, want exactly %d (short by %d)",
+			dev.BytesMoved(), in+out, in+out-dev.BytesMoved())
+	}
+	if dev.Launches() < 2 {
+		t.Fatalf("ran %d passes, want several", dev.Launches())
+	}
+	if dev.MemUsed() != 0 {
+		t.Fatalf("leaked %d bytes of device memory", dev.MemUsed())
+	}
+}
+
 func TestOutOfCorePassesOverlapTransfersWithKernels(t *testing.T) {
 	// With dual DMA engines the passes pipeline: total time must be well
 	// under the fully serialized sum of transfers plus kernels.

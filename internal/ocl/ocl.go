@@ -4,12 +4,21 @@
 // A Device owns three modeled facilities — a compute engine and one or two
 // DMA engines (consumer Fermi boards have a single copy engine; Tesla,
 // Kepler, AMD GCN and Xeon Phi have two) — plus a device-memory allocator.
-// Operations block the calling simnet process for the modeled duration, so
-// when Cashmere's per-job threads issue write/launch/read sequences against
-// the same device concurrently, transfers overlap kernel executions exactly
-// as described in Sec. III-B of the paper ("the data transfers can be
-// completely overlapped with kernel executions except for the first and
-// last").
+// Each engine is driven through an in-order command queue: EnqueueWrite,
+// EnqueueRead and EnqueueLaunch append an operation and return an Event that
+// completes in virtual time via the simulation's callback heap, so no
+// process is parked per operation. Events express cross-queue dependencies
+// (write→launch→read chains), and because the queues are independent,
+// transfers overlap kernel executions exactly as described in Sec. III-B of
+// the paper ("the data transfers can be completely overlapped with kernel
+// executions except for the first and last"). Blocking wrappers (Write,
+// Read, Launch, …) remain for callers that want the old synchronous shape:
+// they are enqueue followed by Event.Wait.
+//
+// The enqueue path is allocation-free and string-free in steady state when
+// the trace recorder is nil: lane names are precomputed at NewDevice, ops
+// are pooled per queue, and labels are the caller's to build only when
+// Tracing reports true.
 package ocl
 
 import (
@@ -32,15 +41,16 @@ type Device struct {
 	k      *simnet.Kernel
 	spec   *device.Spec
 	nodeID int
-	index  int // device index within the node
+	index  int    // device index within the node
+	name   string // "k20#0", precomputed so the hot path never formats
 
-	compute *simnet.Resource
-	h2d     *simnet.Resource
-	d2h     *simnet.Resource
+	qKern *queue
+	qH2D  *queue
+	qD2H  *queue // == qH2D on single-copy-engine devices
 
-	memUsed    int64
-	memWaiters []*simnet.Chan[struct{}]
-	rec        *trace.Recorder
+	memUsed int64
+	memWait simnet.WaitList
+	rec     *trace.Recorder
 
 	kernelBusy  simnet.Time // accumulated kernel-execution time
 	xferBusy    simnet.Time // accumulated DMA-engine transfer time
@@ -56,13 +66,13 @@ type Device struct {
 // rec may be nil to disable tracing.
 func NewDevice(k *simnet.Kernel, spec *device.Spec, nodeID, index int, rec *trace.Recorder) *Device {
 	d := &Device{k: k, spec: spec, nodeID: nodeID, index: index, rec: rec}
-	base := fmt.Sprintf("n%d.%s%d", nodeID, spec.Name, index)
-	d.compute = simnet.NewResource(k, base+".compute", 1)
-	d.h2d = simnet.NewResource(k, base+".h2d", 1)
+	d.name = fmt.Sprintf("%s#%d", spec.Name, index)
+	d.qKern = newQueue(d, d.name+".kern", &d.kernelBusy)
+	d.qH2D = newQueue(d, d.name+".xfer", &d.xferBusy)
 	if spec.DMAEngines >= 2 {
-		d.d2h = simnet.NewResource(k, base+".d2h", 1)
+		d.qD2H = newQueue(d, d.name+".xfer2", &d.xferBusy)
 	} else {
-		d.d2h = d.h2d // single copy engine: both directions contend
+		d.qD2H = d.qH2D // single copy engine: both directions contend
 	}
 	return d
 }
@@ -71,10 +81,14 @@ func NewDevice(k *simnet.Kernel, spec *device.Spec, nodeID, index int, rec *trac
 func (d *Device) Spec() *device.Spec { return d.spec }
 
 // Name returns a unique name within the node, e.g. "gtx480#0".
-func (d *Device) Name() string { return fmt.Sprintf("%s#%d", d.spec.Name, d.index) }
+func (d *Device) Name() string { return d.name }
 
 // NodeID reports the node the device is installed in.
 func (d *Device) NodeID() int { return d.nodeID }
+
+// Tracing reports whether a trace recorder is attached. Callers on the hot
+// path use it to skip building span labels that would be thrown away.
+func (d *Device) Tracing() bool { return d.rec != nil }
 
 // MemUsed reports the allocated device memory in bytes.
 func (d *Device) MemUsed() int64 { return d.memUsed }
@@ -159,11 +173,7 @@ func (b *Buffer) Free() {
 	}
 	b.freed = true
 	b.dev.memUsed -= b.size
-	waiters := b.dev.memWaiters
-	b.dev.memWaiters = nil
-	for _, ch := range waiters {
-		ch.Send(struct{}{})
-	}
+	b.dev.memWait.WakeAll(b.dev.k)
 }
 
 // AllocBlocking reserves size bytes, blocking the calling process until
@@ -179,59 +189,52 @@ func (d *Device) AllocBlocking(p *simnet.Proc, size int64) (*Buffer, error) {
 		if size > d.spec.GlobalMem || size < 0 {
 			return nil, err
 		}
-		ch := simnet.NewChan[struct{}](d.k)
-		d.memWaiters = append(d.memWaiters, ch)
-		ch.Recv(p)
+		d.memWait.Park(p)
 	}
 }
 
-func (d *Device) span(q string, kind trace.Kind, label string, start simnet.Time) {
-	d.rec.Add(trace.Span{
-		Node:  d.nodeID,
-		Queue: q,
-		Kind:  kind,
-		Label: label,
-		Start: start,
-		End:   d.k.Now(),
-	})
+// EnqueueWrite appends a host-to-device transfer of n bytes to the H2D
+// queue. The returned Event completes when the transfer's wire time has
+// elapsed behind everything already in the queue and in deps. label is only
+// consulted when Tracing is true; pass "" otherwise.
+func (d *Device) EnqueueWrite(n int64, label string, deps ...Event) Event {
+	return d.qH2D.enqueue(trace.KindH2D, d.spec.TransferTime(n), n, label, deps)
+}
+
+// EnqueueRead appends a device-to-host transfer of n bytes to the D2H queue
+// (the shared DMA queue on single-copy-engine devices).
+func (d *Device) EnqueueRead(n int64, label string, deps ...Event) Event {
+	return d.qD2H.enqueue(trace.KindD2H, d.spec.TransferTime(n), n, label, deps)
+}
+
+// EnqueueLaunch appends a kernel execution with the given cost descriptor to
+// the compute queue. The modeled execution time is d.Spec().KernelTime(cost),
+// which is pure: schedulers wanting the measured kernel time compute it
+// directly rather than reading it back from the Event.
+func (d *Device) EnqueueLaunch(cost device.KernelCost, label string, deps ...Event) Event {
+	return d.qKern.enqueue(trace.KindKernel, d.spec.KernelTime(cost), 0, label, deps)
 }
 
 // Write moves the buffer's bytes host-to-device, blocking p for the modeled
 // transfer time (queueing on the H2D DMA engine included).
 func (d *Device) Write(p *simnet.Proc, b *Buffer, label string) {
-	d.transfer(p, d.h2d, trace.KindH2D, b.size, label)
+	d.EnqueueWrite(b.size, label).Wait(p)
 }
 
 // Read moves the buffer's bytes device-to-host.
 func (d *Device) Read(p *simnet.Proc, b *Buffer, label string) {
-	d.transfer(p, d.d2h, trace.KindD2H, b.size, label)
+	d.EnqueueRead(b.size, label).Wait(p)
 }
 
 // WriteBytes transfers n raw bytes host-to-device without a buffer object
 // (used for small parameter blocks).
 func (d *Device) WriteBytes(p *simnet.Proc, n int64, label string) {
-	d.transfer(p, d.h2d, trace.KindH2D, n, label)
+	d.EnqueueWrite(n, label).Wait(p)
 }
 
 // ReadBytes transfers n raw bytes device-to-host.
 func (d *Device) ReadBytes(p *simnet.Proc, n int64, label string) {
-	d.transfer(p, d.d2h, trace.KindD2H, n, label)
-}
-
-func (d *Device) transfer(p *simnet.Proc, eng *simnet.Resource, kind trace.Kind, n int64, label string) {
-	eng.Acquire(p, 1)
-	start := d.k.Now()
-	p.Hold(d.spec.TransferTime(n))
-	d.bytesMoved += n
-	d.xferBusy += d.k.Now() - start
-	d.noteActive(start, d.k.Now())
-	d.rec.CounterAdd(d.nodeID, "mcl.bytes_moved", d.k.Now(), n)
-	lane := d.Name() + ".xfer"
-	if d.spec.DMAEngines >= 2 && kind == trace.KindD2H {
-		lane = d.Name() + ".xfer2"
-	}
-	d.span(lane, kind, label, start)
-	eng.Release(1)
+	d.EnqueueRead(n, label).Wait(p)
 }
 
 // Launch executes a kernel with the given cost descriptor, blocking p until
@@ -239,16 +242,8 @@ func (d *Device) transfer(p *simnet.Proc, eng *simnet.Resource, kind trace.Kind,
 // compute-engine queueing), which Cashmere's intra-node scheduler records as
 // the measured kernel time for that device.
 func (d *Device) Launch(p *simnet.Proc, cost device.KernelCost, label string) time.Duration {
-	d.compute.Acquire(p, 1)
-	start := d.k.Now()
 	t := d.spec.KernelTime(cost)
-	p.Hold(t)
-	d.numLaunches++
-	d.kernelBusy += simnet.Time(t)
-	d.noteActive(start, d.k.Now())
-	d.rec.CounterAdd(d.nodeID, "mcl.launches", d.k.Now(), 1)
-	d.span(d.Name()+".kern", trace.KindKernel, label, start)
-	d.compute.Release(1)
+	d.EnqueueLaunch(cost, label).Wait(p)
 	return t
 }
 

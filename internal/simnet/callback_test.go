@@ -1,0 +1,164 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCallAtOrdering verifies that callbacks fire at their scheduled times,
+// interleaved deterministically with process wakes: ties in time resolve in
+// post order (the shared sequence number).
+func TestCallAtOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var order []string
+	k.CallAt(Time(2*time.Millisecond), func() { order = append(order, "cb2") })
+	k.CallAt(Time(1*time.Millisecond), func() { order = append(order, "cb1") })
+	k.Spawn("proc", func(p *Proc) {
+		p.Hold(time.Millisecond) // ties with cb1 but was posted later
+		order = append(order, "proc1")
+		p.Hold(2 * time.Millisecond)
+		order = append(order, "proc3")
+	})
+	end := k.Run(0)
+	want := []string{"cb1", "proc1", "cb2", "proc3"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if end != Time(3*time.Millisecond) {
+		t.Fatalf("end = %v", end)
+	}
+}
+
+// TestCallbackWakesProcess is the command-queue shape: a process parks on a
+// WaitList and a callback completes the condition and wakes it, with no
+// process parked for the modeled duration.
+func TestCallbackWakesProcess(t *testing.T) {
+	k := NewKernel(1)
+	var wl WaitList
+	done := false
+	k.CallAfter(5*time.Millisecond, func() {
+		done = true
+		wl.WakeAll(k)
+	})
+	var woke Time
+	k.Spawn("waiter", func(p *Proc) {
+		for !done {
+			wl.Park(p)
+		}
+		woke = p.Now()
+	})
+	k.Run(0)
+	if woke != Time(5*time.Millisecond) {
+		t.Fatalf("woken at %v, want 5ms", woke)
+	}
+	if st := k.Stats(); st.Callbacks != 1 {
+		t.Fatalf("Callbacks = %d, want 1", st.Callbacks)
+	}
+}
+
+// TestCallbackChaining: a callback may schedule the next callback, the
+// pattern an in-order queue uses to start its next operation.
+func TestCallbackChaining(t *testing.T) {
+	k := NewKernel(1)
+	var fired int
+	var step func()
+	step = func() {
+		fired++
+		if fired < 4 {
+			k.CallAfter(time.Millisecond, step)
+		}
+	}
+	k.CallAfter(time.Millisecond, step)
+	end := k.Run(0)
+	if fired != 4 {
+		t.Fatalf("fired = %d, want 4", fired)
+	}
+	if end != Time(4*time.Millisecond) {
+		t.Fatalf("end = %v, want 4ms", end)
+	}
+}
+
+// TestCallbackRespectsRunLimit: callbacks beyond the limit stay queued and a
+// later Run continues the trajectory.
+func TestCallbackRespectsRunLimit(t *testing.T) {
+	k := NewKernel(1)
+	var fired []Time
+	for _, d := range []Duration{time.Millisecond, 3 * time.Millisecond} {
+		d := d
+		k.CallAfter(d, func() { fired = append(fired, k.Now()) })
+	}
+	k.Run(Time(2 * time.Millisecond))
+	if len(fired) != 1 {
+		t.Fatalf("fired %v before the limit, want just the 1ms callback", fired)
+	}
+	k.Run(0)
+	if len(fired) != 2 || fired[1] != Time(3*time.Millisecond) {
+		t.Fatalf("fired = %v after resume", fired)
+	}
+}
+
+// TestCallbackInPastClampsToNow mirrors post's clamping of proc wakes.
+func TestCallbackInPastClampsToNow(t *testing.T) {
+	k := NewKernel(1)
+	var at Time
+	k.Spawn("p", func(p *Proc) {
+		p.Hold(time.Millisecond)
+		k.CallAt(0, func() { at = k.Now() })
+		p.Hold(time.Millisecond)
+	})
+	k.Run(0)
+	if at != Time(time.Millisecond) {
+		t.Fatalf("past callback ran at %v, want clamped to 1ms", at)
+	}
+}
+
+// TestStatsIncludeCallbacks extends the scheduling-counter invariant:
+// every dispatched event is a self-wake, a switch, a stale skip, or a
+// callback.
+func TestStatsIncludeCallbacks(t *testing.T) {
+	k := NewKernel(1)
+	k.CallAfter(time.Millisecond, func() {})
+	k.Spawn("p", func(p *Proc) { p.Hold(2 * time.Millisecond) })
+	k.Run(0)
+	st := k.Stats()
+	if st.Callbacks != 1 {
+		t.Fatalf("Callbacks = %d", st.Callbacks)
+	}
+	if st.SelfWakes+st.Switches+st.Stale+st.Callbacks != st.Events {
+		t.Fatalf("stats don't add up: %+v", st)
+	}
+}
+
+// TestWaitListReuse: the backing slice survives WakeAll, so repeated
+// park/wake cycles allocate nothing in steady state.
+func TestWaitListReuse(t *testing.T) {
+	k := NewKernel(1)
+	var wl WaitList
+	turn := 0
+	k.Spawn("waiter", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			for turn <= i {
+				wl.Park(p)
+			}
+		}
+	})
+	k.Spawn("waker", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Hold(time.Millisecond)
+			turn++
+			wl.WakeAll(k)
+		}
+	})
+	k.Run(0)
+	if !wl.Empty() {
+		t.Fatal("wait list not drained")
+	}
+	if turn != 3 {
+		t.Fatalf("turn = %d", turn)
+	}
+}

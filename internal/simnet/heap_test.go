@@ -45,7 +45,7 @@ func TestEventHeapMatchesContainerHeap(t *testing.T) {
 		}
 		got := ours.pop()
 		want := heap.Pop(&ref).(event)
-		if got != want {
+		if got.t != want.t || got.seq != want.seq {
 			t.Fatalf("round %d: pop = {t:%v seq:%d}, container/heap = {t:%v seq:%d}",
 				round, got.t, got.seq, want.t, want.seq)
 		}
@@ -53,7 +53,7 @@ func TestEventHeapMatchesContainerHeap(t *testing.T) {
 	for len(ref) > 0 {
 		got := ours.pop()
 		want := heap.Pop(&ref).(event)
-		if got != want {
+		if got.t != want.t || got.seq != want.seq {
 			t.Fatalf("drain: pop = {t:%v seq:%d}, container/heap = {t:%v seq:%d}",
 				got.t, got.seq, want.t, want.seq)
 		}

@@ -46,13 +46,17 @@ func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 // Add returns the time d after t.
 func (t Time) Add(d Duration) Time { return t + Time(d) }
 
-// event is a scheduled resumption of a process. Events never carry work
-// themselves; all simulation logic runs inside processes.
+// event is a scheduled resumption of a process (p != nil) or a scheduled
+// callback (fn != nil, posted by CallAt). Proc events never carry work
+// themselves; callbacks run a short completion action — marking a device
+// command-queue operation done, starting the next one — without parking a
+// process for the operation's modeled duration.
 type event struct {
 	t     Time
 	seq   uint64
 	p     *Proc
 	epoch uint64 // park epoch the event is allowed to wake
+	fn    func() // callback; mutually exclusive with p
 }
 
 // Kernel is a discrete-event simulation kernel. The zero value is not usable;
@@ -94,11 +98,12 @@ type Kernel struct {
 
 // Stats are the kernel's scheduling counters, maintained unconditionally.
 type Stats struct {
-	Events    int64 // events dispatched (process wakes)
+	Events    int64 // events dispatched (process wakes + callbacks)
 	SelfWakes int64 // direct-handoff wakes that needed no goroutine switch
 	Switches  int64 // goroutine switches performed to resume a process
 	Stale     int64 // stale wake events skipped (superseded parks)
 	Spawns    int64 // processes created
+	Callbacks int64 // callback events run (CallAt completions; never switch)
 	MaxQueue  int   // high-water mark of the pending event queue
 }
 
@@ -201,6 +206,37 @@ func (k *Kernel) post(t Time, p *Proc, epoch uint64) {
 	}
 }
 
+// CallAt schedules fn to run at virtual time t (or now, if t is in the
+// past), with no process attached: the callback fires directly from the
+// event loop on whichever goroutine holds the token. It is the completion
+// hook behind the ocl command queues — an enqueued device operation costs
+// one heap entry instead of a parked process.
+//
+// Callbacks must be short and must not block on virtual-time primitives
+// (no Hold, Recv, Acquire, Await); they may post further events, wake
+// processes, call CallAt again, or Spawn.
+func (k *Kernel) CallAt(t Time, fn func()) {
+	if fn == nil {
+		panic("simnet: CallAt with nil callback")
+	}
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	k.pq.push(event{t: t, seq: k.seq, fn: fn})
+	if n := len(k.pq); n > k.stats.MaxQueue {
+		k.stats.MaxQueue = n
+	}
+}
+
+// CallAfter schedules fn to run d from now (see CallAt).
+func (k *Kernel) CallAfter(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.CallAt(k.now.Add(d), fn)
+}
+
 // Spawn creates a process executing fn and schedules it to start at the
 // current virtual time. It may be called before Run or from inside a running
 // process.
@@ -268,6 +304,18 @@ func (k *Kernel) dispatch(self *Proc) bool {
 			break
 		}
 		k.pq.pop()
+		if e.fn != nil {
+			// Callback event: run it inline on the token-holding goroutine
+			// and keep dispatching. Never a goroutine switch.
+			k.now = e.t
+			k.stats.Events++
+			k.stats.Callbacks++
+			if k.tracer != nil {
+				k.tracer.QueueDepth(e.t, len(k.pq))
+			}
+			e.fn()
+			continue
+		}
 		if e.p.done || !e.p.parked || e.p.epoch != e.epoch {
 			k.stats.Stale++
 			continue // stale wake
@@ -342,6 +390,16 @@ func (k *Kernel) Run(limit Time) Time {
 			return k.now
 		}
 		k.pq.pop()
+		if e.fn != nil {
+			k.now = e.t
+			k.stats.Events++
+			k.stats.Callbacks++
+			if k.tracer != nil {
+				k.tracer.QueueDepth(e.t, len(k.pq))
+			}
+			e.fn()
+			continue
+		}
 		if e.p.done || !e.p.parked || e.p.epoch != e.epoch {
 			k.stats.Stale++
 			continue // stale wake
@@ -370,7 +428,7 @@ func (k *Kernel) Run(limit Time) Time {
 func (k *Kernel) Blocked() int {
 	pending := make(map[*Proc]bool)
 	for _, e := range k.pq {
-		if !e.p.done && e.p.parked && e.p.epoch == e.epoch {
+		if e.p != nil && !e.p.done && e.p.parked && e.p.epoch == e.epoch {
 			pending[e.p] = true
 		}
 	}

@@ -1,0 +1,34 @@
+package simnet
+
+// WaitList is an embeddable list of parked processes — the building block
+// for condition-style waits owned by higher layers (ocl command-queue
+// events, device-memory pressure). A process parks on it with Park after
+// observing an unmet condition; whoever makes the condition true calls
+// WakeAll. Park/WakeAll pairs must follow the usual epoch discipline:
+// callers loop re-checking their condition, because WakeAll wakes every
+// parked process and only some of them may find the condition still true.
+//
+// The backing slice is retained across WakeAll calls, so a WaitList that
+// cycles through park/wake in steady state allocates nothing.
+type WaitList struct {
+	ws []chanWaiter
+}
+
+// Park registers p against its current park epoch and blocks it until a
+// later WakeAll (or any other wake targeting the same epoch) fires.
+func (w *WaitList) Park(p *Proc) {
+	w.ws = append(w.ws, chanWaiter{p: p, epoch: p.epoch})
+	p.park()
+}
+
+// WakeAll schedules a wake for every parked process at the current virtual
+// time, in park order, and empties the list.
+func (w *WaitList) WakeAll(k *Kernel) {
+	for _, wa := range w.ws {
+		k.post(k.now, wa.p, wa.epoch)
+	}
+	w.ws = w.ws[:0]
+}
+
+// Empty reports whether no process is parked on the list.
+func (w *WaitList) Empty() bool { return len(w.ws) == 0 }

@@ -1,0 +1,48 @@
+package trace_test
+
+import (
+	"testing"
+
+	"cashmere/internal/device"
+	"cashmere/internal/ocl"
+	"cashmere/internal/simnet"
+	"cashmere/internal/trace"
+)
+
+// BenchmarkTraceOverheadDevice extends the zero-cost-when-off contract to
+// the device runtime: the full enqueue path (write -> launch -> read with
+// event dependencies plus the blocking wait) must not allocate or build
+// strings with a nil recorder. It lives in an external test package because
+// ocl imports trace. The "on" case prices what -trace runs pay for span and
+// counter recording on the same path.
+func BenchmarkTraceOverheadDevice(b *testing.B) {
+	spec, err := device.Lookup("k20")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cost := device.KernelCost{Flops: 1e6, MemBytes: 4096, ComputeEff: 1, BandwidthEff: 1}
+	bench := func(b *testing.B, rec *trace.Recorder) {
+		k := simnet.NewKernel(1)
+		d := ocl.NewDevice(k, spec, 0, 0, rec)
+		label := ""
+		if d.Tracing() {
+			label = "bench"
+		}
+		drive := func(n int) {
+			k.Spawn("driver", func(p *simnet.Proc) {
+				for i := 0; i < n; i++ {
+					w := d.EnqueueWrite(4096, label)
+					l := d.EnqueueLaunch(cost, label, w)
+					d.EnqueueRead(4096, label, l).Wait(p)
+				}
+			})
+			k.Run(0)
+		}
+		drive(64) // warm op pools and heap capacity outside the timer
+		b.ReportAllocs()
+		b.ResetTimer()
+		drive(b.N)
+	}
+	b.Run("off", func(b *testing.B) { bench(b, nil) })
+	b.Run("on", func(b *testing.B) { bench(b, trace.New()) })
+}
