@@ -28,6 +28,8 @@
 package cashmere
 
 import (
+	"sort"
+
 	"cashmere/internal/core"
 	"cashmere/internal/device"
 	"cashmere/internal/mcl/codegen"
@@ -36,6 +38,7 @@ import (
 	"cashmere/internal/mcl/interp"
 	"cashmere/internal/mcl/mcpl"
 	"cashmere/internal/satin"
+	"cashmere/internal/serve"
 	"cashmere/internal/simnet"
 	"cashmere/internal/trace"
 )
@@ -75,6 +78,42 @@ type (
 	// FeedbackMessage is one piece of MCL compiler feedback.
 	FeedbackMessage = feedback.Message
 )
+
+// Online serving layer (internal/serve): run the cluster as a multi-tenant
+// service with admission control, weighted-fair queueing, small-job batching
+// and SLO-tracked latency. See cmd/cashmere-serve and examples/serving.
+type (
+	// ServeConfig describes one serving experiment: tenants, horizon,
+	// batching and SLO.
+	ServeConfig = serve.Config
+	// ServeWorkload pairs kernel sets with the tenant population.
+	ServeWorkload = serve.Workload
+	// ServeReport is the outcome of a serving run: per-tenant admission,
+	// shedding and latency-quantile accounting.
+	ServeReport = serve.Report
+	// TenantSpec configures one tenant: arrival process, token bucket,
+	// queue bound, WFQ weight and job mix.
+	TenantSpec = serve.TenantSpec
+	// JobClass is one kind of request a tenant issues.
+	JobClass = serve.JobClass
+	// ArrivalSpec configures a tenant's arrival process (Poisson, bursty
+	// MMPP or diurnal).
+	ArrivalSpec = serve.ArrivalSpec
+)
+
+// StandardServeWorkload returns the default three-tenant serving population
+// (interactive / analytics / batchy) with `total` offered requests/s.
+func StandardServeWorkload(total float64) (*ServeWorkload, error) {
+	return serve.StandardWorkload(total)
+}
+
+// DefaultServeConfig returns the default serving configuration for a
+// workload (1s horizon, batching up to 4, 50ms SLO).
+func DefaultServeConfig(w *ServeWorkload) ServeConfig { return serve.DefaultConfig(w) }
+
+// Serve runs one serving experiment on the cluster. The workload's kernel
+// sets must already be registered.
+func Serve(cl *Cluster, cfg ServeConfig) (*ServeReport, error) { return serve.Run(cl, cfg) }
 
 // NewCluster builds a simulated Cashmere cluster.
 func NewCluster(cfg Config) (*Cluster, error) { return core.NewCluster(cfg) }
@@ -150,12 +189,13 @@ func NewFloatArray(dims ...int) *Array { return interp.NewFloatArray(dims...) }
 func NewIntArray(dims ...int) *Array { return interp.NewIntArray(dims...) }
 
 // HardwareLevels returns the names of the built-in hardware-description
-// hierarchy (Fig. 2 of the paper).
+// hierarchy (Fig. 2 of the paper), in sorted order.
 func HardwareLevels() []string {
 	h := hdl.Library()
 	var names []string
 	for name := range h.Levels {
 		names = append(names, name)
 	}
+	sort.Strings(names)
 	return names
 }

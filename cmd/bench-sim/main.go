@@ -130,10 +130,17 @@ func diffAgainst(path string, results []benchResult) {
 		old[r.Name] = r
 	}
 	fmt.Fprintf(os.Stderr, "bench-sim: deltas vs committed %s (dated %s):\n", path, prev.Date)
+	seen := map[string]bool{}
 	for _, r := range results {
+		seen[r.Name] = true
 		o, ok := old[r.Name]
-		if !ok || o.NsPerOp <= 0 {
+		if !ok {
 			fmt.Fprintf(os.Stderr, "  %-44s %14.4g ns/op   (new)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		if o.NsPerOp <= 0 {
+			// A zero committed time would make the delta undefined.
+			fmt.Fprintf(os.Stderr, "  %-44s %14.4g ns/op   (committed ns/op is 0)\n", r.Name, r.NsPerOp)
 			continue
 		}
 		pct := (r.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
@@ -143,6 +150,14 @@ func diffAgainst(path string, results []benchResult) {
 			fmt.Fprintf(os.Stderr, "   allocs/op %g -> %g", o.AllocsPerOp, r.AllocsPerOp)
 		}
 		fmt.Fprintln(os.Stderr)
+	}
+	// Benchmarks that exist in the committed report but not in this run
+	// (renamed or deleted): say so instead of silently dropping them.
+	for _, o := range prev.Benchmarks {
+		if !seen[o.Name] {
+			fmt.Fprintf(os.Stderr, "  %-44s %14s          (removed; committed %.4g ns/op)\n",
+				o.Name, "-", o.NsPerOp)
+		}
 	}
 }
 

@@ -1,0 +1,182 @@
+// Command cashmere-serve runs the online multi-tenant serving experiment on
+// the simulated cluster: per-tenant arrival processes offer kernel requests
+// against token-bucket admission, weighted-fair queueing and small-job
+// batching, with SLO-tracked latency histograms on virtual time.
+//
+// A single run prints the serving report (and optionally the full metrics
+// dump or a Chrome trace):
+//
+//	cashmere-serve -nodes 4 -device gtx480 -load 0.8 -metrics
+//
+// The sweep mode regenerates BENCH_serve.json, the latency-vs-offered-load
+// curve behind the serving figure (`make bench-serve`):
+//
+//	cashmere-serve -sweep -out BENCH_serve.json
+//
+// Identical flags and -seed produce byte-identical output, including the
+// latency quantiles, at any -parallel setting.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"cashmere/internal/bench"
+	"cashmere/internal/core"
+	"cashmere/internal/serve"
+	"cashmere/internal/simnet"
+)
+
+type sweepReport struct {
+	Description string             `json:"description"`
+	Date        string             `json:"date"`
+	Nodes       int                `json:"nodes"`
+	Device      string             `json:"device"`
+	CapacityRPS float64            `json:"capacity_rps"`
+	HorizonSec  float64            `json:"horizon_sec"`
+	Seed        int64              `json:"seed"`
+	Rows        []bench.ServePoint `json:"rows"`
+}
+
+func main() {
+	nodes := flag.Int("nodes", 4, "cluster size (one device per node)")
+	dev := flag.String("device", "gtx480", "device catalog name")
+	duration := flag.Duration("duration", time.Second, "arrival horizon in virtual time")
+	load := flag.Float64("load", 0.8, "offered load as a fraction of modeled capacity")
+	arrival := flag.String("arrival", "", "force every tenant's arrival process (poisson, mmpp, diurnal)")
+	seed := flag.Int64("seed", 1, "simulation RNG seed")
+	metrics := flag.Bool("metrics", false, "print the full metrics dump after the report")
+	traceF := flag.String("trace", "", "write a Chrome trace of the run")
+	sweep := flag.Bool("sweep", false, "run the latency-vs-load sweep instead of a single run")
+	out := flag.String("out", "BENCH_serve.json", "sweep output path")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"number of sweep points simulated concurrently; output is identical at any setting")
+	flag.Parse()
+	bench.SetParallelism(*parallel)
+
+	if *sweep {
+		if err := runSweep(*nodes, *dev, *duration, *seed, *out); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if err := runOnce(*nodes, *dev, *duration, *load, *arrival, *seed, *metrics, *traceF); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cashmere-serve:", err)
+	os.Exit(1)
+}
+
+func runOnce(nodes int, dev string, horizon time.Duration, load float64, arrival string, seed int64, metrics bool, traceF string) error {
+	w, err := serve.StandardWorkload(1)
+	if err != nil {
+		return err
+	}
+	if arrival != "" {
+		kind, err := serve.ArrivalKindFromString(arrival)
+		if err != nil {
+			return err
+		}
+		for i := range w.Tenants {
+			w.Tenants[i].Arrival.Kind = kind
+		}
+	}
+	capacity, err := w.CapacityRPS(dev, nodes)
+	if err != nil {
+		return err
+	}
+	w.ScaleRates(load * capacity)
+
+	ccfg := core.DefaultConfig(nodes, dev)
+	ccfg.Seed = seed
+	ccfg.Record = metrics || traceF != ""
+	cl, err := core.NewCluster(ccfg)
+	if err != nil {
+		return err
+	}
+	for _, ks := range w.KernelSets {
+		if err := cl.Register(ks); err != nil {
+			return err
+		}
+	}
+	scfg := serve.DefaultConfig(w)
+	scfg.Horizon = simnet.Duration(horizon)
+	rep, err := serve.Run(cl, scfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d x %s, modeled capacity %.0f req/s, offered %.2fx\n", nodes, dev, capacity, load)
+	fmt.Print(rep.Format())
+
+	if traceF != "" {
+		f, err := os.Create(traceF)
+		if err == nil {
+			err = cl.Recorder().WriteChromeTrace(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cashmere-serve: wrote %s: %d spans\n", traceF, cl.Recorder().Len())
+	}
+	if metrics {
+		m := cl.CollectMetrics()
+		rep.FillMetrics(m)
+		fmt.Print(m.Format())
+	}
+	return nil
+}
+
+func runSweep(nodes int, dev string, horizon time.Duration, seed int64, out string) error {
+	cfg := bench.DefaultServeSweep()
+	cfg.Nodes = nodes
+	cfg.Device = dev
+	cfg.Horizon = simnet.Duration(horizon)
+	cfg.Seed = seed
+	fig, points, err := bench.LatencyVsLoad(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(fig.Format())
+
+	w, err := serve.StandardWorkload(1)
+	if err != nil {
+		return err
+	}
+	capacity, err := w.CapacityRPS(dev, nodes)
+	if err != nil {
+		return err
+	}
+	rep := sweepReport{
+		Description: "Latency vs offered load for the online serving layer: the standard " +
+			"3-tenant workload (interactive Poisson, bursty MMPP analytics, diurnal batch) swept " +
+			"across fractions of the modeled saturation throughput. Below the knee p99 stays " +
+			"bounded; above it token buckets and bounded queues shed load and goodput plateaus. " +
+			"Regenerate with: make bench-serve",
+		Date:        time.Now().Format("2006-01-02"),
+		Nodes:       nodes,
+		Device:      dev,
+		CapacityRPS: capacity,
+		HorizonSec:  horizon.Seconds(),
+		Seed:        seed,
+		Rows:        points,
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cashmere-serve: wrote %s\n", out)
+	return nil
+}

@@ -223,8 +223,14 @@ func (f *Fabric) MessagesSent() int64 { return f.msgsSent }
 // an uncontended path: software overhead, egress serialization, propagation
 // latency and ingress serialization. Useful for analytical checks in tests.
 func (f *Fabric) TransferTime(s int64) simnet.Duration {
-	wire := time.Duration(float64(s) / f.cfg.Bandwidth * float64(time.Second))
-	return f.cfg.PerMessageCPU + wire + f.cfg.Latency + wire
+	return f.cfg.TransferTime(s)
+}
+
+// TransferTime is Fabric.TransferTime computable without a fabric instance,
+// for capacity planning against a configuration alone.
+func (c Config) TransferTime(s int64) simnet.Duration {
+	wire := time.Duration(float64(s) / c.Bandwidth * float64(time.Second))
+	return c.PerMessageCPU + wire + c.Latency + wire
 }
 
 // ID reports the endpoint's node id.

@@ -259,6 +259,20 @@ func (n *Node) workerLoop(p *simnet.Proc, id int) {
 	}
 }
 
+// GoOn runs fn as a many-core-mode frame on node i, on a pooled process
+// starting at the current virtual time. It is the placement hook of the
+// serving layer: long-lived per-node dispatcher threads are not stealable
+// jobs, so they bypass the deque and run directly where they are put. fn
+// may block on virtual-time primitives and drive device launches through
+// the Cashmere kernel front-end. Must be called from inside the running
+// simulation.
+func (rt *Runtime) GoOn(node int, fn func(ctx *Context)) {
+	n := rt.nodes[node]
+	rt.pool.Go(func(p *simnet.Proc) {
+		fn(&Context{p: p, node: n, manyCore: true})
+	})
+}
+
 // popLocal takes the newest local job (depth-first execution order).
 func (n *Node) popLocal() *Job {
 	if len(n.deque) == 0 {

@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"cashmere/internal/simnet"
+)
+
+// BenchmarkServeAdmitPath measures the steady-state serving fast path with
+// tracing off: admit → WFQ pop (NextBatch) → complete, cycling pooled
+// request records. `make bench-allocs` pins this at 0 allocs/op.
+func BenchmarkServeAdmitPath(b *testing.B) {
+	cls := JobClass{
+		Name: "c", Kernel: "k", BatchParam: "n",
+		Params: map[string]int64{"n": 64}, InBytes: 4096, OutBytes: 1024,
+		CostHint: 200 * time.Microsecond, Weight: 1,
+	}
+	f := NewFrontend(nil, Config{
+		Tenants: []TenantSpec{
+			{Name: "a", Weight: 3, QueueLimit: 64, BucketRatePerSec: 1e9, BucketBurst: 8, Mix: []JobClass{cls}},
+			{Name: "b", Weight: 1, QueueLimit: 64, BucketRatePerSec: 1e9, BucketBurst: 8, Mix: []JobClass{cls}},
+		},
+		Horizon: time.Second, MaxBatch: 4, SLO: 50 * time.Millisecond,
+	}, nil)
+
+	// Warm the request pool past the peak population of the loop.
+	var warm []*Request
+	for i := 0; i < 16; i++ {
+		r, v, _ := f.Admit(0, i%2, 0)
+		if v != Admitted {
+			b.Fatal("warmup admit shed")
+		}
+		warm = append(warm, r)
+	}
+	buf := make([]*Request, 0, 8)
+	for {
+		buf = f.NextBatch(0, buf[:0])
+		if len(buf) == 0 {
+			break
+		}
+		for _, r := range buf {
+			f.Complete(0, r, true)
+		}
+	}
+	_ = warm
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := simnet.Time(time.Millisecond) // let the warmup-drained buckets refill
+	for i := 0; i < b.N; i++ {
+		if _, v, _ := f.Admit(now, i&1, 0); v != Admitted {
+			b.Fatal("steady-state admit shed")
+		}
+		if i&3 == 3 {
+			for {
+				buf = f.NextBatch(now, buf[:0])
+				if len(buf) == 0 {
+					break
+				}
+				for _, r := range buf {
+					f.Complete(now, r, true)
+				}
+			}
+		}
+		now += 1000
+	}
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"math"
+	"math/rand"
+
+	"cashmere/internal/simnet"
+)
+
+// arrival draws inter-arrival gaps for one tenant from its configured
+// process, using the per-simulation RNG so a given seed always produces
+// the same arrival trajectory.
+type arrival struct {
+	spec ArrivalSpec
+	rng  *rand.Rand
+
+	// MMPP state.
+	burst      bool
+	nextSwitch simnet.Time
+	quietRate  float64 // req/ns in the quiet state
+	burstRate  float64 // req/ns in the burst state
+	dwellQuiet float64 // mean quiet dwell, ns
+	dwellBurst float64 // mean burst dwell, ns
+}
+
+func newArrival(spec ArrivalSpec, rng *rand.Rand) *arrival {
+	a := &arrival{spec: spec, rng: rng}
+	if spec.Kind == MMPP {
+		b := spec.BurstFactor
+		if b <= 1 {
+			b = 4
+		}
+		frac := spec.BurstFraction
+		if frac <= 0 || frac >= 1 {
+			frac = 0.2
+		}
+		cycle := float64(spec.CycleMean)
+		if cycle <= 0 {
+			cycle = 100e6 // 100ms
+		}
+		// Pick the two state rates so the long-run mean equals RatePerSec:
+		// mean = frac*b*q + (1-frac)*q  =>  q = rate / (1 - frac + frac*b).
+		q := spec.RatePerSec / 1e9 / (1 - frac + frac*b)
+		a.quietRate = q
+		a.burstRate = q * b
+		a.dwellBurst = cycle * frac
+		a.dwellQuiet = cycle * (1 - frac)
+	}
+	return a
+}
+
+// rateAt reports the instantaneous arrival rate (req/ns) at time now,
+// advancing MMPP state as dwell periods expire.
+func (a *arrival) rateAt(now simnet.Time) float64 {
+	base := a.spec.RatePerSec / 1e9
+	switch a.spec.Kind {
+	case MMPP:
+		for now >= a.nextSwitch {
+			if a.nextSwitch == 0 {
+				// First call: start quiet, schedule the first switch.
+				a.burst = false
+				a.nextSwitch = now + simnet.Time(a.rng.ExpFloat64()*a.dwellQuiet)
+				continue
+			}
+			a.burst = !a.burst
+			dwell := a.dwellQuiet
+			if a.burst {
+				dwell = a.dwellBurst
+			}
+			a.nextSwitch += simnet.Time(a.rng.ExpFloat64() * dwell)
+		}
+		if a.burst {
+			return a.burstRate
+		}
+		return a.quietRate
+	case Diurnal:
+		period := float64(a.spec.Period)
+		if period <= 0 {
+			period = 1e9
+		}
+		swing := a.spec.Swing
+		if swing < 0 {
+			swing = 0
+		}
+		if swing > 1 {
+			swing = 1
+		}
+		return base * (1 + swing*math.Sin(2*math.Pi*float64(now)/period))
+	default:
+		return base
+	}
+}
+
+// next draws the gap to the following arrival, given the current time.
+// A non-positive configured rate yields an effectively infinite gap.
+func (a *arrival) next(now simnet.Time) simnet.Duration {
+	r := a.rateAt(now)
+	if r <= 0 {
+		return simnet.Duration(math.MaxInt64 / 4)
+	}
+	return simnet.Duration(a.rng.ExpFloat64() / r)
+}

@@ -1,0 +1,387 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"cashmere/internal/core"
+	"cashmere/internal/satin"
+	"cashmere/internal/simnet"
+	"cashmere/internal/trace"
+)
+
+// KindServe is the trace span kind of one served request (admission to
+// completion).
+const KindServe = trace.Kind("serve")
+
+// Run executes one serving experiment on the cluster: generators offer
+// requests for cfg.Horizon of virtual time, dispatchers drain the frontend
+// into the per-node device schedulers, and the run ends when the last
+// admitted request completes. The workload's kernel sets must already be
+// registered on cl.
+//
+// A given (cluster config, serve config, seed) triple always produces the
+// same trajectory, so the returned report — including latency quantiles —
+// is byte-stable across runs and harness parallelism.
+func Run(cl *core.Cluster, cfg Config) (*Report, error) {
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("serve: no tenants configured")
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("serve: non-positive horizon")
+	}
+	for _, t := range cfg.Tenants {
+		if len(t.Mix) == 0 {
+			return nil, fmt.Errorf("serve: tenant %q has an empty job mix", t.Name)
+		}
+	}
+
+	k := cl.Kernel()
+	fe := NewFrontend(k, cfg, cl.Recorder())
+
+	_, end, err := cl.Run(func(ctx *satin.Context) any {
+		rt := ctx.Runtime()
+		fe.gensLive = len(cfg.Tenants)
+		for ti := range cfg.Tenants {
+			ti := ti
+			k.Spawn("serve.gen."+cfg.Tenants[ti].Name, func(p *simnet.Proc) {
+				fe.generate(p, ti)
+			})
+		}
+		per := cfg.DispatchersPerNode
+		for n := 0; n < rt.Nodes(); n++ {
+			d := per
+			if d <= 0 {
+				d = len(cl.NodeState(n).Devices)
+				if d == 0 {
+					d = 1
+				}
+			}
+			for i := 0; i < d; i++ {
+				n := n
+				rt.GoOn(n, func(c *satin.Context) { fe.dispatchLoop(c) })
+			}
+		}
+		fe.done.Await(ctx.Proc())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fe.report(cfg, end), nil
+}
+
+// generate is one tenant's arrival process: draw gaps from the configured
+// process until the horizon, offering each arrival to admission.
+func (f *Frontend) generate(p *simnet.Proc, tenant int) {
+	k := p.Kernel()
+	spec := &f.cfg.Tenants[tenant]
+	a := newArrival(spec.Arrival, k.Rand())
+	horizon := simnet.Time(f.cfg.Horizon)
+	t := &f.tenants[tenant]
+	for {
+		d := a.next(p.Now())
+		if p.Now().Add(d) > horizon {
+			break
+		}
+		p.Hold(d)
+		// Draw the class from the tenant mix.
+		class := 0
+		if t.totalCum > 1 {
+			pick := k.Rand().Intn(t.totalCum)
+			for class < len(t.cum)-1 && pick >= t.cum[class] {
+				class++
+			}
+		}
+		f.offer(k, p.Now(), tenant, class, false)
+	}
+	f.gensLive--
+	f.checkDone(k)
+}
+
+// offer presents one arrival to admission, waking an idle dispatcher on
+// success and scheduling at most one client retry on shed.
+func (f *Frontend) offer(k *simnet.Kernel, now simnet.Time, tenant, class int, retried bool) {
+	if retried {
+		f.tenants[tenant].Retries++
+	}
+	r, v, retryAfter := f.Admit(now, tenant, class)
+	if v == Admitted {
+		r.Retried = retried
+		if !f.work.Empty() {
+			f.work.WakeAll(k)
+		}
+		return
+	}
+	if f.cfg.Retry && !retried {
+		f.pendingRetries++
+		k.CallAfter(retryAfter, func() {
+			f.pendingRetries--
+			f.offer(k, k.Now(), tenant, class, true)
+			f.checkDone(k)
+		})
+	}
+}
+
+// checkDone completes the experiment future once everything drained, and
+// wakes parked dispatchers so they observe Drained and exit.
+func (f *Frontend) checkDone(k *simnet.Kernel) {
+	if f.done != nil && !f.done.Done() && f.Drained() {
+		f.done.Complete(struct{}{})
+		f.work.WakeAll(k)
+	}
+}
+
+// dispatchLoop is one dispatcher thread pinned to a node: it pulls WFQ
+// batches from the frontend and drives them through the node's device
+// scheduler, parking when the frontend is empty.
+func (f *Frontend) dispatchLoop(ctx *satin.Context) {
+	p := ctx.Proc()
+	k := p.Kernel()
+	buf := make([]*Request, 0, f.cfg.MaxBatch)
+	kernels := map[string]*core.Kernel{}
+	for {
+		buf = f.NextBatch(p.Now(), buf[:0])
+		if len(buf) == 0 {
+			if f.Drained() {
+				f.checkDone(k)
+				return
+			}
+			f.work.Park(p)
+			continue
+		}
+		f.runBatch(ctx, kernels, buf)
+		f.checkDone(k)
+	}
+}
+
+// runBatch executes one coalesced batch as a single kernel launch on the
+// dispatcher's node, charging the network model for shipping inputs to a
+// non-master node and results back (the frontend lives on node 0).
+func (f *Frontend) runBatch(ctx *satin.Context, kernels map[string]*core.Kernel, batch []*Request) {
+	t := &f.tenants[batch[0].Tenant]
+	class := &t.spec.Mix[batch[0].Class]
+	p := ctx.Proc()
+
+	kern := kernels[class.Kernel]
+	if kern == nil {
+		var err error
+		kern, err = core.GetKernel(ctx, class.Kernel)
+		if err != nil {
+			now := p.Now()
+			for _, r := range batch {
+				f.Complete(now, r, false)
+			}
+			return
+		}
+		kernels[class.Kernel] = kern
+	}
+
+	n := int64(len(batch))
+	params := class.Params
+	if n > 1 {
+		scaled := make(map[string]int64, len(params))
+		for name, v := range params {
+			scaled[name] = v
+		}
+		scaled[class.BatchParam] *= n
+		params = scaled
+	}
+
+	fab := ctx.Runtime().Fabric()
+	remote := ctx.NodeID() != 0
+	if remote {
+		p.Hold(fab.TransferTime(class.InBytes * n))
+	}
+	err := kern.NewLaunch(core.LaunchSpec{
+		Params:  params,
+		InBytes: class.InBytes * n, OutBytes: class.OutBytes * n,
+		Label: class.Name,
+	}).Run(ctx)
+	if err == nil && remote {
+		p.Hold(fab.TransferTime(class.OutBytes * n))
+	}
+
+	now := p.Now()
+	if f.rec.Enabled() {
+		bsz := trace.Int64Attr("batch", n)
+		for _, r := range batch {
+			f.rec.Add(trace.Span{
+				Node: ctx.NodeID(), Queue: "serve", Kind: KindServe,
+				Label: t.spec.Name + "/" + class.Name,
+				Start: r.Arrive, End: now,
+				Attrs: []trace.Attr{bsz, trace.Int64Attr("wait_ns", int64(r.Issue-r.Arrive))},
+			})
+		}
+	}
+	for _, r := range batch {
+		f.Complete(now, r, err == nil)
+	}
+}
+
+// TenantReport is the per-tenant slice of a serving report.
+type TenantReport struct {
+	Name         string
+	Offered      int64
+	Admitted     int64
+	ShedThrottle int64
+	ShedQueue    int64
+	Retries      int64
+	Completed    int64
+	Errors       int64
+	SLOOk        int64
+	MaxQueue     int
+	P50, P95     int64 // ns
+	P99, Mean    int64 // ns
+	Max          int64 // ns
+}
+
+// Report is the outcome of one serving experiment.
+type Report struct {
+	Horizon simnet.Duration
+	Elapsed simnet.Time
+
+	Tenants []TenantReport
+
+	Offered      int64
+	Admitted     int64
+	ShedThrottle int64
+	ShedQueue    int64
+	Retries      int64
+	Completed    int64
+	Errors       int64
+	SLOOk        int64
+	Batches      int64
+	BatchedReqs  int64
+	MaxDepth     int
+
+	P50, P95, P99, Mean, Max int64 // ns
+
+	// OfferedRPS/ThroughputRPS/GoodputRPS are rates over the arrival
+	// horizon in virtual time.
+	OfferedRPS    float64
+	ThroughputRPS float64
+	GoodputRPS    float64
+	// ShedFraction is sheds (both causes, net of successful retries)
+	// over offered arrivals.
+	ShedFraction float64
+}
+
+// report assembles the Report from the frontend's accounting.
+func (f *Frontend) report(cfg Config, end simnet.Time) *Report {
+	r := &Report{
+		Horizon: cfg.Horizon,
+		Elapsed: end,
+		P50:     f.Hist.Quantile(0.50),
+		P95:     f.Hist.Quantile(0.95),
+		P99:     f.Hist.Quantile(0.99),
+		Mean:    f.Hist.Mean(),
+		Max:     f.Hist.Max(),
+	}
+	r.Batches = f.Batches
+	r.BatchedReqs = f.BatchedReqs
+	r.MaxDepth = f.maxDepth
+	for i := range f.tenants {
+		t := &f.tenants[i]
+		tr := TenantReport{
+			Name:         t.spec.Name,
+			Offered:      t.Offered,
+			Admitted:     t.Admitted,
+			ShedThrottle: t.ShedThrottle,
+			ShedQueue:    t.ShedQueue,
+			Retries:      t.Retries,
+			Completed:    t.Completed,
+			Errors:       t.Errors,
+			SLOOk:        t.SLOOk,
+			MaxQueue:     t.MaxQueue,
+			P50:          t.Hist.Quantile(0.50),
+			P95:          t.Hist.Quantile(0.95),
+			P99:          t.Hist.Quantile(0.99),
+			Mean:         t.Hist.Mean(),
+			Max:          t.Hist.Max(),
+		}
+		r.Tenants = append(r.Tenants, tr)
+		r.Offered += tr.Offered
+		r.Admitted += tr.Admitted
+		r.ShedThrottle += tr.ShedThrottle
+		r.ShedQueue += tr.ShedQueue
+		r.Retries += tr.Retries
+		r.Completed += tr.Completed
+		r.Errors += tr.Errors
+		r.SLOOk += tr.SLOOk
+	}
+	secs := simnet.Time(cfg.Horizon).Seconds()
+	if secs > 0 {
+		r.OfferedRPS = float64(r.Offered) / secs
+		r.ThroughputRPS = float64(r.Completed) / secs
+		r.GoodputRPS = float64(r.SLOOk) / secs
+	}
+	if r.Offered > 0 {
+		r.ShedFraction = float64(r.ShedThrottle+r.ShedQueue) / float64(r.Offered)
+	}
+	return r
+}
+
+// FillMetrics exports the report into the flat metrics set under the
+// "serve." prefix, so the serving layer shows up in the CollectMetrics
+// dump next to the simulator, network and device statistics.
+func (r *Report) FillMetrics(m *trace.Metrics) {
+	m.SetInt("serve.offered", r.Offered)
+	m.SetInt("serve.admitted", r.Admitted)
+	m.SetInt("serve.shed_throttle", r.ShedThrottle)
+	m.SetInt("serve.shed_queue", r.ShedQueue)
+	m.SetInt("serve.retries", r.Retries)
+	m.SetInt("serve.completed", r.Completed)
+	m.SetInt("serve.errors", r.Errors)
+	m.SetInt("serve.slo_ok", r.SLOOk)
+	m.SetInt("serve.batches", r.Batches)
+	m.SetInt("serve.batched_requests", r.BatchedReqs)
+	m.SetInt("serve.max_queue_depth", int64(r.MaxDepth))
+	m.SetInt("serve.p50_ns", r.P50)
+	m.SetInt("serve.p95_ns", r.P95)
+	m.SetInt("serve.p99_ns", r.P99)
+	m.SetInt("serve.mean_ns", r.Mean)
+	m.SetInt("serve.max_ns", r.Max)
+	m.SetFloat("serve.offered_rps", r.OfferedRPS, "req/s")
+	m.SetFloat("serve.throughput_rps", r.ThroughputRPS, "req/s")
+	m.SetFloat("serve.goodput_rps", r.GoodputRPS, "req/s")
+	m.SetFloat("serve.shed_fraction", r.ShedFraction, "")
+	for _, t := range r.Tenants {
+		p := "serve.tenant." + t.Name
+		m.SetInt(p+".offered", t.Offered)
+		m.SetInt(p+".admitted", t.Admitted)
+		m.SetInt(p+".shed_throttle", t.ShedThrottle)
+		m.SetInt(p+".shed_queue", t.ShedQueue)
+		m.SetInt(p+".retries", t.Retries)
+		m.SetInt(p+".completed", t.Completed)
+		m.SetInt(p+".errors", t.Errors)
+		m.SetInt(p+".slo_ok", t.SLOOk)
+		m.SetInt(p+".max_queue", int64(t.MaxQueue))
+		m.SetInt(p+".p50_ns", t.P50)
+		m.SetInt(p+".p95_ns", t.P95)
+		m.SetInt(p+".p99_ns", t.P99)
+	}
+}
+
+// Format renders the report as a fixed-order text table (byte-stable for
+// a given trajectory).
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== serve: %v horizon, drained at %v ==\n", simnet.Duration(r.Horizon), r.Elapsed)
+	fmt.Fprintf(&b, "offered %d (%.6g req/s)  admitted %d  shed %d+%d (%.4g%%)  retries %d\n",
+		r.Offered, r.OfferedRPS, r.Admitted, r.ShedThrottle, r.ShedQueue, 100*r.ShedFraction, r.Retries)
+	fmt.Fprintf(&b, "completed %d (%.6g req/s)  goodput %.6g req/s  errors %d  batches %d (coalesced %d)  max depth %d\n",
+		r.Completed, r.ThroughputRPS, r.GoodputRPS, r.Errors, r.Batches, r.BatchedReqs, r.MaxDepth)
+	fmt.Fprintf(&b, "latency p50 %v  p95 %v  p99 %v  mean %v  max %v\n",
+		simnet.Duration(r.P50), simnet.Duration(r.P95), simnet.Duration(r.P99),
+		simnet.Duration(r.Mean), simnet.Duration(r.Max))
+	fmt.Fprintf(&b, "%-14s %9s %9s %9s %9s %8s %9s %7s %12s %12s %12s\n",
+		"tenant", "offered", "admitted", "shed", "complete", "errors", "slo_ok", "maxq", "p50", "p95", "p99")
+	for _, t := range r.Tenants {
+		fmt.Fprintf(&b, "%-14s %9d %9d %9d %9d %8d %9d %7d %12v %12v %12v\n",
+			t.Name, t.Offered, t.Admitted, t.ShedThrottle+t.ShedQueue, t.Completed,
+			t.Errors, t.SLOOk, t.MaxQueue,
+			simnet.Duration(t.P50), simnet.Duration(t.P95), simnet.Duration(t.P99))
+	}
+	return b.String()
+}

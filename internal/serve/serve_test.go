@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cashmere/internal/core"
+)
+
+// testCluster builds a small cluster with the standard workload's kernels
+// registered.
+func testCluster(t testing.TB, nodes int, seed int64, w *Workload) *core.Cluster {
+	t.Helper()
+	cfg := core.DefaultConfig(nodes, "gtx480")
+	cfg.Seed = seed
+	cl, err := core.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ks := range w.KernelSets {
+		if err := cl.Register(ks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cl
+}
+
+// runStandard runs the standard workload at the given offered-load factor
+// on a fresh cluster and returns the report and the metrics dump.
+func runStandard(t testing.TB, nodes int, seed int64, load float64, horizon time.Duration) (*Report, string) {
+	t.Helper()
+	w, err := StandardWorkload(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap, err := w.CapacityRPS("gtx480", nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ScaleRates(load * cap)
+	cl := testCluster(t, nodes, seed, w)
+	cfg := DefaultConfig(w)
+	cfg.Horizon = horizon
+	rep, err := Run(cl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cl.CollectMetrics()
+	rep.FillMetrics(m)
+	return rep, m.Format()
+}
+
+func TestServeDeterministicDump(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations")
+	}
+	_, dump1 := runStandard(t, 2, 42, 0.5, 200*time.Millisecond)
+	_, dump2 := runStandard(t, 2, 42, 0.5, 200*time.Millisecond)
+	if dump1 != dump2 {
+		t.Fatalf("identical seeds produced different metrics dumps:\n--- run1\n%s--- run2\n%s", dump1, dump2)
+	}
+	for _, key := range []string{"serve.p50_ns", "serve.p95_ns", "serve.p99_ns", "serve.goodput_rps"} {
+		if !strings.Contains(dump1, key) {
+			t.Fatalf("metrics dump is missing %s:\n%s", key, dump1)
+		}
+	}
+}
+
+func TestServeModerateLoadMeetsSLO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations")
+	}
+	rep, _ := runStandard(t, 2, 1, 0.4, 300*time.Millisecond)
+	if rep.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Errors > 0 {
+		t.Fatalf("%d launch errors at moderate load", rep.Errors)
+	}
+	// Accounting identities after drain.
+	if rep.Offered != rep.Admitted+rep.ShedThrottle+rep.ShedQueue {
+		t.Fatalf("offered %d != admitted %d + sheds %d+%d",
+			rep.Offered, rep.Admitted, rep.ShedThrottle, rep.ShedQueue)
+	}
+	if rep.Admitted != rep.Completed+rep.Errors {
+		t.Fatalf("admitted %d != completed %d + errors %d", rep.Admitted, rep.Completed, rep.Errors)
+	}
+	// Below saturation almost everything should meet the 50ms SLO.
+	if frac := float64(rep.SLOOk) / float64(rep.Completed); frac < 0.95 {
+		t.Fatalf("only %.1f%% of completions met the SLO at 0.4 load", 100*frac)
+	}
+	if rep.ShedFraction > 0.05 {
+		t.Fatalf("shed fraction %.3f at 0.4 load, want ~0", rep.ShedFraction)
+	}
+}
+
+func TestServeOverloadShedsAndStaysBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations")
+	}
+	low, _ := runStandard(t, 2, 1, 0.3, 300*time.Millisecond)
+	high, _ := runStandard(t, 2, 1, 2.5, 300*time.Millisecond)
+
+	if high.ShedFraction < 0.2 {
+		t.Fatalf("shed fraction %.3f at 2.5x load, want substantial shedding", high.ShedFraction)
+	}
+	if high.P99 <= low.P99 {
+		t.Fatalf("p99 did not grow under overload: %d <= %d", high.P99, low.P99)
+	}
+	// Bounded queues: depth can never exceed the sum of the standard
+	// workload's per-tenant limits (128 + 192 + 96).
+	if high.MaxDepth > 128+192+96 {
+		t.Fatalf("max queue depth %d exceeds the configured bounds", high.MaxDepth)
+	}
+	// The cluster keeps serving under overload (goodput does not collapse
+	// to zero) and the accounting still balances.
+	if high.Completed == 0 {
+		t.Fatal("no completions under overload")
+	}
+	if high.Admitted != high.Completed+high.Errors {
+		t.Fatalf("admitted %d != completed %d + errors %d under overload",
+			high.Admitted, high.Completed, high.Errors)
+	}
+}
+
+func TestServeBatchingEngagesUnderBacklog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations")
+	}
+	rep, _ := runStandard(t, 1, 3, 2.0, 200*time.Millisecond)
+	if rep.BatchedReqs == 0 {
+		t.Fatal("no requests coalesced under 2x overload; batching is not engaging")
+	}
+}
+
+func TestServeTracingRecordsSpansAndGauges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations")
+	}
+	w, err := StandardWorkload(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap, err := w.CapacityRPS("gtx480", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ScaleRates(0.5 * cap)
+	cfg := core.DefaultConfig(1, "gtx480")
+	cfg.Record = true
+	cl, err := core.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ks := range w.KernelSets {
+		if err := cl.Register(ks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scfg := DefaultConfig(w)
+	scfg.Horizon = 100 * time.Millisecond
+	rep, err := Run(cl, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := cl.Recorder()
+	var serveSpans int
+	for _, s := range rec.Spans() {
+		if s.Kind == KindServe {
+			serveSpans++
+		}
+	}
+	if int64(serveSpans) != rep.Completed+rep.Errors {
+		t.Fatalf("%d serve spans for %d dispatched requests", serveSpans, rep.Completed+rep.Errors)
+	}
+	if rec.CounterTotal(0, "serve.admitted") != rep.Admitted {
+		t.Fatalf("admitted counter %d != report %d", rec.CounterTotal(0, "serve.admitted"), rep.Admitted)
+	}
+}
+
+func TestWorkloadCapacityPositive(t *testing.T) {
+	w, err := StandardWorkload(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap, err := w.CapacityRPS("gtx480", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap <= 0 {
+		t.Fatalf("capacity = %g", cap)
+	}
+	// Costs were filled in by the estimate.
+	for _, tn := range w.Tenants {
+		for _, c := range tn.Mix {
+			if c.CostHint <= 0 {
+				t.Fatalf("class %s has no cost hint after EstimateCosts", c.Name)
+			}
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	w, err := StandardWorkload(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := testCluster(t, 1, 1, w)
+	if _, err := Run(cl, Config{}); err == nil {
+		t.Fatal("Run with no tenants must fail")
+	}
+	if _, err := Run(cl, Config{Tenants: []TenantSpec{{Name: "x"}}, Horizon: time.Second}); err == nil {
+		t.Fatal("Run with an empty mix must fail")
+	}
+}
