@@ -53,8 +53,9 @@ bench:
 
 # bench-sim regenerates the simulator hot-path numbers recorded in
 # BENCH_sim.json (event-loop cost, network message rate, tracing overhead,
-# device launch path, Fig. 7 harness wall-clock at parallelism 1 and 4) and
-# prints per-benchmark deltas against the committed file before overwriting.
+# device launch path, Fig. 7 harness wall-clock at parallelism 1 and 4 plus
+# the intra-simulation partitioned scheduler at -partitions 4) and prints
+# per-benchmark deltas against the committed file before overwriting.
 bench-sim:
 	$(GO) run ./cmd/bench-sim
 

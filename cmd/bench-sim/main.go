@@ -85,7 +85,8 @@ func main() {
 			"message rate (pooled couriers, zero allocations), the tracing overhead with " +
 			"the recorder off (must stay 0 allocs/op) and on, the device command-queue " +
 			"launch path (enqueue write/launch/read with events, 0 allocs/op tracing off), " +
-			"and the Fig. 7 harness wall-clock at harness parallelism 1 and 4. " +
+			"and the Fig. 7 harness wall-clock at harness parallelism 1 and 4 plus the " +
+			"intra-simulation partitioned scheduler at 4 partitions. " +
 			"Regenerate with: make bench-sim",
 		Date:       time.Now().Format("2006-01-02"),
 		CPU:        cpuModel(),
@@ -95,7 +96,8 @@ func main() {
 		Speedup:    speedups(results),
 		Notes: []string{
 			"baseline: pre-optimization tree (two-switch scheduler, per-message Spawn, sequential harness) on the reference machine",
-			fmt.Sprintf("this run: GOMAXPROCS=%d; the fig7 parallel4/parallel1 ratio is bounded by the host's core count and by the largest single simulation", runtime.GOMAXPROCS(0)),
+			fmt.Sprintf("this run: GOMAXPROCS=%d; the fig7 parallel4/parallel1 and partitions4/parallel1 ratios are bounded by the host's core count", runtime.GOMAXPROCS(0)),
+			"BenchmarkFig7Harness/partitions4 runs the same study sequentially across points with each simulation split over 4 conservative partitions (-partitions 4); trajectories are byte-identical to the sequential scheduler",
 			"BenchmarkTraceOverhead/off is the per-call-site cost of disabled tracing (nil recorder); /on is the enabled recording cost paid only under -trace",
 			"BenchmarkLaunchPath is one write->launch->read chain through the asynchronous command queues including the blocking wait; make bench-allocs pins its 0 allocs/op",
 		},
@@ -235,6 +237,9 @@ func speedups(results []benchResult) map[string]string {
 	}
 	if p1, p4 := cur["BenchmarkFig7Harness/parallel1"], cur["BenchmarkFig7Harness/parallel4"]; p1 > 0 && p4 > 0 {
 		out["fig7_parallel4_vs_parallel1"] = fmt.Sprintf("%.2fx", p1/p4)
+	}
+	if p1, d4 := cur["BenchmarkFig7Harness/parallel1"], cur["BenchmarkFig7Harness/partitions4"]; p1 > 0 && d4 > 0 {
+		out["fig7_partitions4_vs_parallel1"] = fmt.Sprintf("%.2fx", p1/d4)
 	}
 	return out
 }

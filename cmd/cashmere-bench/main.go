@@ -28,12 +28,15 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"number of simulations to run concurrently (1 = sequential); output is identical at any setting")
+	partitionsF := flag.Int("partitions", 1,
+		"split each scalability simulation into N conservatively synchronized partitions (intra-simulation parallelism; output is identical at any setting)")
 	traceF := flag.String("trace", "",
 		"write a Chrome trace of the heterogeneous k-means run (Figs. 16/17) and exit")
 	metrics := flag.Bool("metrics", false,
 		"print the metrics dump of the heterogeneous k-means run and exit")
 	flag.Parse()
 	bench.SetParallelism(*parallel)
+	partitions = *partitionsF
 
 	if *list {
 		for _, e := range experiments {
@@ -85,11 +88,15 @@ func main() {
 // runs.
 var scaleCache = map[string][2]bench.Figure{}
 
+// partitions is the -partitions flag: intra-simulation partition count for
+// the scalability studies.
+var partitions = 1
+
 func scalability(app string) ([2]bench.Figure, error) {
 	if f, ok := scaleCache[app]; ok {
 		return f, nil
 	}
-	sp, ab, err := bench.Scalability(app)
+	sp, ab, err := bench.ScalabilityPartitioned(app, partitions)
 	if err != nil {
 		return [2]bench.Figure{}, err
 	}

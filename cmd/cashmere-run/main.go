@@ -34,6 +34,10 @@ func main() {
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		legacy  = flag.Bool("legacy-sched", false,
 			"use the two-switch event scheduler instead of direct handoff (same trajectory, for comparison)")
+		partitions = flag.Int("partitions", 1,
+			"split the simulation into N conservatively synchronized partitions (same trajectory, less wall-clock time)")
+		oracle = flag.Bool("pdes-oracle", false,
+			"step partition windows sequentially instead of concurrently (the determinism oracle; same trajectory)")
 	)
 	flag.Parse()
 
@@ -45,6 +49,8 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Record = *gantt || *traceF != ""
 	cfg.TraceSched = *traceF != ""
+	cfg.Partitions = *partitions
+	cfg.Oracle = *oracle
 	if v == apps.Satin {
 		cfg.Satin.WorkersPerNode = 8
 		// Satin's CPU leaves run for seconds; coarse idle backoff keeps the
@@ -93,7 +99,7 @@ func main() {
 		*app, *variant, len(cfg.Nodes), res.Elapsed, res.GFLOPS)
 	rt := cl.Runtime()
 	fmt.Printf("jobs spawned %d, executed %d; steals ok %d / failed %d; cpu fallbacks %d\n",
-		rt.JobsSpawned, rt.JobsExecuted, rt.StealsOK, rt.StealsFailed, cl.CPUFallbacks)
+		rt.JobsSpawned(), rt.JobsExecuted(), rt.StealsOK(), rt.StealsFailed(), cl.CPUFallbacks())
 	for i := range cfg.Nodes {
 		ns := cl.NodeState(i)
 		for _, d := range ns.Devices {

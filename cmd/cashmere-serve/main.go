@@ -14,7 +14,7 @@
 //	cashmere-serve -sweep -out BENCH_serve.json
 //
 // Identical flags and -seed produce byte-identical output, including the
-// latency quantiles, at any -parallel setting.
+// latency quantiles, at any -parallel or -partitions setting.
 package main
 
 import (
@@ -55,16 +55,18 @@ func main() {
 	out := flag.String("out", "BENCH_serve.json", "sweep output path")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"number of sweep points simulated concurrently; output is identical at any setting")
+	partitions := flag.Int("partitions", 1,
+		"split each simulation into N conservatively synchronized partitions; output is identical at any setting")
 	flag.Parse()
 	bench.SetParallelism(*parallel)
 
 	if *sweep {
-		if err := runSweep(*nodes, *dev, *duration, *seed, *out); err != nil {
+		if err := runSweep(*nodes, *dev, *duration, *seed, *partitions, *out); err != nil {
 			fail(err)
 		}
 		return
 	}
-	if err := runOnce(*nodes, *dev, *duration, *load, *arrival, *seed, *metrics, *traceF); err != nil {
+	if err := runOnce(*nodes, *dev, *duration, *load, *arrival, *seed, *partitions, *metrics, *traceF); err != nil {
 		fail(err)
 	}
 }
@@ -74,7 +76,7 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-func runOnce(nodes int, dev string, horizon time.Duration, load float64, arrival string, seed int64, metrics bool, traceF string) error {
+func runOnce(nodes int, dev string, horizon time.Duration, load float64, arrival string, seed int64, partitions int, metrics bool, traceF string) error {
 	w, err := serve.StandardWorkload(1)
 	if err != nil {
 		return err
@@ -96,7 +98,11 @@ func runOnce(nodes int, dev string, horizon time.Duration, load float64, arrival
 
 	ccfg := core.DefaultConfig(nodes, dev)
 	ccfg.Seed = seed
-	ccfg.Record = metrics || traceF != ""
+	ccfg.Partitions = partitions
+	// Tracing is the only consumer that needs the recorder; keeping it off
+	// otherwise keeps the -metrics dump free of recorder counters and thus
+	// byte-identical across -partitions settings.
+	ccfg.Record = traceF != ""
 	cl, err := core.NewCluster(ccfg)
 	if err != nil {
 		return err
@@ -136,12 +142,13 @@ func runOnce(nodes int, dev string, horizon time.Duration, load float64, arrival
 	return nil
 }
 
-func runSweep(nodes int, dev string, horizon time.Duration, seed int64, out string) error {
+func runSweep(nodes int, dev string, horizon time.Duration, seed int64, partitions int, out string) error {
 	cfg := bench.DefaultServeSweep()
 	cfg.Nodes = nodes
 	cfg.Device = dev
 	cfg.Horizon = simnet.Duration(horizon)
 	cfg.Seed = seed
+	cfg.Partitions = partitions
 	fig, points, err := bench.LatencyVsLoad(cfg)
 	if err != nil {
 		return err

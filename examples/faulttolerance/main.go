@@ -84,8 +84,8 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("completed %d/%d leaves in %v despite two crashed nodes\n", done, leaves, elapsed)
-	fmt.Printf("jobs re-executed after the crash: %d\n", rt.JobsReExecuted)
-	if rt.JobsReExecuted == 0 {
+	fmt.Printf("jobs re-executed after the crash: %d\n", rt.JobsReExecuted())
+	if rt.JobsReExecuted() == 0 {
 		fmt.Println("(crash happened after the victims had finished their stolen work)")
 	}
 }

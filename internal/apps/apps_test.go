@@ -127,8 +127,8 @@ func TestSatinVariantUsesCPUOnly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cl.FlopsCharged != 0 {
-		t.Fatalf("Satin variant launched kernels (%g flops)", cl.FlopsCharged)
+	if cl.FlopsCharged() != 0 {
+		t.Fatalf("Satin variant launched kernels (%g flops)", cl.FlopsCharged())
 	}
 	if res.GFLOPS <= 0 || res.GFLOPS > 200 {
 		t.Fatalf("Satin matmul = %.1f GFLOPS; expected CPU-level performance", res.GFLOPS)

@@ -90,7 +90,7 @@ func TestFig6Shapes(t *testing.T) {
 func TestRunVariantSmall(t *testing.T) {
 	// A 2-node optimized run of every app completes and reports performance.
 	for _, app := range AppNames {
-		res, err := runVariant(app, 2, apps.CashmereOptimized)
+		res, err := runVariant(app, 2, apps.CashmereOptimized, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", app, err)
 		}

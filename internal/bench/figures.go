@@ -176,12 +176,15 @@ func shortVariant(v apps.Variant) string {
 // ScaleNodeCounts are the cluster sizes of the scalability studies.
 var ScaleNodeCounts = []int{1, 2, 4, 8, 16}
 
-// runVariant executes the app's paper problem on n gtx480 nodes. Each call
-// builds a private cluster (its own simnet kernel and RNG), so concurrent
-// calls are independent.
-func runVariant(appName string, n int, v apps.Variant) (apps.Result, error) {
+// runVariant executes the app's paper problem on n gtx480 nodes, with the
+// simulation split into the given number of conservatively synchronized
+// partitions (<= 1 runs the classic sequential kernel; trajectories are
+// identical either way). Each call builds a private cluster (its own simnet
+// kernels and RNGs), so concurrent calls are independent.
+func runVariant(appName string, n int, v apps.Variant, partitions int) (apps.Result, error) {
 	d := drivers()[appName]
 	cfg := core.DefaultConfig(n, "gtx480")
+	cfg.Partitions = partitions
 	if v == apps.Satin {
 		cfg.Satin.WorkersPerNode = 8
 		// Satin's CPU leaves run for seconds; coarse idle backoff keeps the
@@ -210,6 +213,14 @@ func runVariant(appName string, n int, v apps.Variant) (apps.Result, error) {
 //	kmeans    -> Fig. 11 / 12
 //	nbody     -> Fig. 13 / 14
 func Scalability(appName string) (speedup, absolute Figure, err error) {
+	return ScalabilityPartitioned(appName, 1)
+}
+
+// ScalabilityPartitioned is Scalability with every simulation split into the
+// given number of intra-simulation partitions (clamped per cluster to its
+// node count). The figures are byte-identical to the sequential ones; only
+// the wall-clock time changes.
+func ScalabilityPartitioned(appName string, partitions int) (speedup, absolute Figure, err error) {
 	ids := map[string][2]string{
 		"raytracer": {"fig7", "fig8"},
 		"matmul":    {"fig9", "fig10"},
@@ -220,7 +231,7 @@ func Scalability(appName string) (speedup, absolute Figure, err error) {
 	if !ok {
 		return speedup, absolute, fmt.Errorf("bench: unknown app %q", appName)
 	}
-	return scalability(appName, id, ScaleNodeCounts)
+	return scalability(appName, id, ScaleNodeCounts, partitions)
 }
 
 // scalability runs the (variant x node-count) grid of one scalability study.
@@ -228,7 +239,7 @@ func Scalability(appName string) (speedup, absolute Figure, err error) {
 // concurrently up to Parallelism(); results land in per-index slots and the
 // series are assembled in grid order, making the output independent of the
 // parallelism level.
-func scalability(appName string, id [2]string, nodeCounts []int) (speedup, absolute Figure, err error) {
+func scalability(appName string, id [2]string, nodeCounts []int, partitions int) (speedup, absolute Figure, err error) {
 	speedup = Figure{ID: id[0], Title: appName + " scalability (speedup vs 1 node)", XLabel: "nodes", YLabel: "speedup"}
 	absolute = Figure{ID: id[1], Title: appName + " absolute performance", XLabel: "nodes", YLabel: "GFLOPS"}
 	variants := []apps.Variant{apps.Satin, apps.CashmereUnoptimized, apps.CashmereOptimized}
@@ -253,7 +264,7 @@ func scalability(appName string, id [2]string, nodeCounts []int) (speedup, absol
 	}
 	results := make([]apps.Result, len(specs))
 	err = runParallel(len(specs), func(i int) error {
-		res, err := runVariant(appName, specs[i].n, specs[i].v)
+		res, err := runVariant(appName, specs[i].n, specs[i].v, partitions)
 		if err != nil {
 			return fmt.Errorf("%s/%s on %d nodes: %w", appName, specs[i].v, specs[i].n, err)
 		}

@@ -206,7 +206,7 @@ func Fig15Efficiency() (Figure, error) {
 			}
 			attainable += g
 		}
-		r16, err := runVariant(app, 16, apps.CashmereOptimized)
+		r16, err := runVariant(app, 16, apps.CashmereOptimized, 1)
 		if err != nil {
 			return err
 		}

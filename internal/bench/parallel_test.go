@@ -57,12 +57,12 @@ func TestParallelScalabilityDeterministic(t *testing.T) {
 	counts := []int{1, 2}
 
 	SetParallelism(1)
-	seqSU, seqAB, err := scalability("kmeans", [2]string{"figA", "figB"}, counts)
+	seqSU, seqAB, err := scalability("kmeans", [2]string{"figA", "figB"}, counts, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	SetParallelism(4)
-	parSU, parAB, err := scalability("kmeans", [2]string{"figA", "figB"}, counts)
+	parSU, parAB, err := scalability("kmeans", [2]string{"figA", "figB"}, counts, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,17 +79,21 @@ func TestParallelScalabilityDeterministic(t *testing.T) {
 // harness parallelism levels. This is the experiment the parallel harness
 // exists for; the figures produced are identical at every level.
 func BenchmarkFig7Harness(b *testing.B) {
+	warm := func(b *testing.B) {
+		b.Helper()
+		// Warm the kernel-set cache so every level measures simulation
+		// time, not first-use parsing.
+		for _, v := range []apps.Variant{apps.Satin, apps.CashmereUnoptimized, apps.CashmereOptimized} {
+			if _, err := kernelsFor("raytracer", v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 	for _, p := range []int{1, 4} {
 		b.Run(map[int]string{1: "parallel1", 4: "parallel4"}[p], func(b *testing.B) {
 			defer SetParallelism(Parallelism())
 			SetParallelism(p)
-			// Warm the kernel-set cache so both levels measure simulation
-			// time, not first-use parsing.
-			for _, v := range []apps.Variant{apps.Satin, apps.CashmereUnoptimized, apps.CashmereOptimized} {
-				if _, err := kernelsFor("raytracer", v); err != nil {
-					b.Fatal(err)
-				}
-			}
+			warm(b)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := Scalability("raytracer"); err != nil {
@@ -98,4 +102,19 @@ func BenchmarkFig7Harness(b *testing.B) {
 			}
 		})
 	}
+	// Intra-simulation partitioning: the same grid run one simulation at a
+	// time, with each simulation split over 4 conservative partitions. This
+	// is the orthogonal axis to harness parallelism — it speeds up a single
+	// big simulation instead of running many at once.
+	b.Run("partitions4", func(b *testing.B) {
+		defer SetParallelism(Parallelism())
+		SetParallelism(1)
+		warm(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ScalabilityPartitioned("raytracer", 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

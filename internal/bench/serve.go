@@ -36,12 +36,29 @@ type ServeSweepConfig struct {
 	Horizon simnet.Duration // arrival horizon per point
 	Seed    int64           // base RNG seed (each point runs at Seed)
 	Loads   []float64       // offered-load factors; nil = ServeLoads
+	// Partitions splits each point's simulation into that many parallel
+	// event loops (<= 1: sequential). Output is byte-identical either way.
+	Partitions int
 }
 
 // DefaultServeSweep is the configuration behind `make bench-serve` and the
 // committed BENCH_serve.json.
 func DefaultServeSweep() ServeSweepConfig {
 	return ServeSweepConfig{Nodes: 4, Device: "gtx480", Horizon: simnet.Duration(time.Second), Seed: 1}
+}
+
+// LargeServeSweep is the large-cluster serving configuration of the
+// partitioned-scheduler speedup study: 16 nodes, a single saturating load
+// point, long horizon. One point is one big simulation, which is where
+// intra-simulation partitioning pays off (the regular sweep already
+// parallelizes across points).
+func LargeServeSweep(partitions int) ServeSweepConfig {
+	return ServeSweepConfig{
+		Nodes: 16, Device: "gtx480",
+		Horizon: simnet.Duration(time.Second), Seed: 1,
+		Loads:      []float64{1.0},
+		Partitions: partitions,
+	}
 }
 
 // LatencyVsLoad sweeps the standard three-tenant serving workload across
@@ -84,6 +101,7 @@ func LatencyVsLoad(cfg ServeSweepConfig) (Figure, []ServePoint, error) {
 
 		ccfg := core.DefaultConfig(cfg.Nodes, cfg.Device)
 		ccfg.Seed = cfg.Seed
+		ccfg.Partitions = cfg.Partitions
 		cl, err := core.NewCluster(ccfg)
 		if err != nil {
 			return err

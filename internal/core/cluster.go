@@ -34,10 +34,20 @@ type NodeSpec struct {
 
 // Config describes a Cashmere cluster.
 type Config struct {
-	Nodes  []NodeSpec
-	Net    network.Config
-	Satin  satin.Config
-	Seed   int64
+	Nodes []NodeSpec
+	Net   network.Config
+	Satin satin.Config
+	Seed  int64
+	// Partitions splits the simulation into that many conservatively
+	// synchronized event loops (one per goroutine), each owning a contiguous
+	// block of nodes; 0 or 1 runs the classic single sequential kernel.
+	// Trajectories and metric dumps are identical for every value.
+	Partitions int
+	// Oracle forces the partitioned scheduler's windows to execute
+	// sequentially on one goroutine (the determinism oracle): same window
+	// protocol, same trajectories, no parallelism. Only meaningful with
+	// Partitions > 1.
+	Oracle bool
 	Record bool // collect trace spans (Gantt charts)
 	// TraceSched additionally records simulation-kernel scheduler slices
 	// (every process run interval) and event-queue depth under the
@@ -71,6 +81,7 @@ func DefaultConfig(n int, dev string) Config {
 // Cluster is a Cashmere execution environment.
 type Cluster struct {
 	cfg Config
+	ps  *simnet.Partitioned
 	k   *simnet.Kernel
 	rt  *satin.Runtime
 	rec *trace.Recorder
@@ -80,12 +91,6 @@ type Cluster struct {
 	registry map[string]*codegen.KernelSet
 
 	initialized bool
-
-	// FlopsCharged accumulates the modeled flops of every kernel launch,
-	// for GFLOPS reporting by the benchmark harness.
-	FlopsCharged float64
-	// CPUFallbacks counts leaves that fell back to the CPU.
-	CPUFallbacks int64
 }
 
 // NodeState is the per-node Cashmere state (devices, compiled kernels,
@@ -101,6 +106,12 @@ type NodeState struct {
 
 	costCache            map[costKey][]costEntry // memoized MCL cost evaluations
 	costHits, costMisses int64
+
+	// flopsCharged and cpuFallbacks live per node (not on Cluster) so launch
+	// code on different partitions never shares a counter; the Cluster methods
+	// sum them after the run.
+	flopsCharged float64
+	cpuFallbacks int64
 }
 
 // residentKey identifies one resident buffer on one device of a node.
@@ -115,7 +126,20 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if len(cfg.Nodes) == 0 {
 		return nil, fmt.Errorf("core: cluster needs at least one node")
 	}
-	k := simnet.NewKernel(cfg.Seed)
+	parts := cfg.Partitions
+	if parts < 1 {
+		parts = 1
+	}
+	if cfg.Record && parts > 1 {
+		// The trace recorder is a single shared sink; recording runs are
+		// sequential by construction.
+		return nil, fmt.Errorf("core: Record requires Partitions <= 1 (tracing is not partition-safe)")
+	}
+	ps := simnet.NewPartitioned(cfg.Seed, len(cfg.Nodes), parts)
+	if cfg.Oracle {
+		ps.SetParallel(false)
+	}
+	k := ps.Kernels()[0]
 	var rec *trace.Recorder
 	if cfg.Record {
 		rec = trace.New()
@@ -125,14 +149,15 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	cl := &Cluster{
 		cfg:      cfg,
+		ps:       ps,
 		k:        k,
-		rt:       satin.New(k, len(cfg.Nodes), cfg.Net, cfg.Satin, rec),
+		rt:       satin.NewPartitioned(ps, len(cfg.Nodes), cfg.Net, cfg.Satin, rec),
 		rec:      rec,
 		h:        hdl.Library(),
 		registry: map[string]*codegen.KernelSet{},
 	}
 	for i, ns := range cfg.Nodes {
-		on, err := ocl.NewNode(k, i, rec, ns.Devices...)
+		on, err := ocl.NewNode(ps.KernelFor(i), i, rec, ns.Devices...)
 		if err != nil {
 			return nil, err
 		}
@@ -150,8 +175,32 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	return cl, nil
 }
 
-// Kernel returns the simulation kernel (for custom drivers and tests).
+// Kernel returns the master's simulation kernel (for custom drivers and
+// tests; partition 0 in a partitioned cluster).
 func (cl *Cluster) Kernel() *simnet.Kernel { return cl.k }
+
+// Scheduler returns the partitioned event scheduler.
+func (cl *Cluster) Scheduler() *simnet.Partitioned { return cl.ps }
+
+// FlopsCharged sums the modeled flops of every kernel launch, for GFLOPS
+// reporting by the benchmark harness. Must not be called during a run.
+func (cl *Cluster) FlopsCharged() float64 {
+	var t float64
+	for _, ns := range cl.nodes {
+		t += ns.flopsCharged
+	}
+	return t
+}
+
+// CPUFallbacks counts leaves that fell back to the CPU, summed over nodes.
+// Must not be called during a run.
+func (cl *Cluster) CPUFallbacks() int64 {
+	var t int64
+	for _, ns := range cl.nodes {
+		t += ns.cpuFallbacks
+	}
+	return t
+}
 
 // Runtime returns the underlying Satin runtime.
 func (cl *Cluster) Runtime() *satin.Runtime { return cl.rt }

@@ -87,8 +87,8 @@ func TestLaunchChargesTimeAndFlops(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cl.FlopsCharged < n || cl.FlopsCharged > 3*n {
-		t.Fatalf("FlopsCharged = %g, want ~2n", cl.FlopsCharged)
+	if cl.FlopsCharged() < n || cl.FlopsCharged() > 3*n {
+		t.Fatalf("FlopsCharged = %g, want ~2n", cl.FlopsCharged())
 	}
 	// Two 4 MiB transfers at 5.5 GB/s are ~1.5ms; the run must cost at
 	// least that plus kernel time.
@@ -126,8 +126,8 @@ func TestOOMFallsBackToCPUPath(t *testing.T) {
 		}
 		return nil
 	})
-	if cl.CPUFallbacks != 1 {
-		t.Fatalf("CPUFallbacks = %d", cl.CPUFallbacks)
+	if cl.CPUFallbacks() != 1 {
+		t.Fatalf("CPUFallbacks = %d", cl.CPUFallbacks())
 	}
 }
 

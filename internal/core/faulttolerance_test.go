@@ -59,8 +59,8 @@ func TestMidRunCrashWithManyCoreLeaves(t *testing.T) {
 	}
 	// The master's view must cover every leaf: leaves it saw complete
 	// directly, plus subtrees that were re-executed after the crash.
-	if done < leaves-int(rt.JobsReExecuted)*8 || done > leaves+8 {
-		t.Fatalf("done = %d of %d (re-executed %d)", done, leaves, rt.JobsReExecuted)
+	if done < leaves-int(rt.JobsReExecuted())*8 || done > leaves+8 {
+		t.Fatalf("done = %d of %d (re-executed %d)", done, leaves, rt.JobsReExecuted())
 	}
 	// Bounded virtual time: a hang manifests as hours of virtual retries.
 	if end > simnet.Time(30*time.Second) {

@@ -149,13 +149,13 @@ func (l *Launch) Run(ctx *satin.Context) error {
 			return l.runOutOfCore(ctx, devIdx, est, cost)
 		}
 		ns.Sched.Done(l.k.name, devIdx, est, 0)
-		ns.cl.CPUFallbacks++
+		ns.cpuFallbacks++
 		return fmt.Errorf("core: launch needs %d bytes, device %s has %d", total, dev.Name(), dev.Spec().GlobalMem)
 	}
 	buf, err := dev.AllocBlocking(p, total)
 	if err != nil {
 		ns.Sched.Done(l.k.name, devIdx, est, 0)
-		ns.cl.CPUFallbacks++
+		ns.cpuFallbacks++
 		return err
 	}
 	defer buf.Free()
@@ -221,7 +221,7 @@ func (l *Launch) Run(ctx *satin.Context) error {
 		last.Wait(p)
 	}
 	ns.Sched.Done(l.k.name, devIdx, est, measured)
-	ns.cl.FlopsCharged += cost.Flops
+	ns.flopsCharged += cost.Flops
 
 	if ns.cl.cfg.Verify {
 		if err := compiled.Run(l.spec.Args...); err != nil {
@@ -330,7 +330,7 @@ func (l *Launch) runOutOfCore(ctx *satin.Context, devIdx int, est simnet.Duratio
 
 	measured := l.streamPasses(p, dev, cost, l.spec.InBytes, l.spec.OutBytes, passes, ocl.Event{}, true, dev.Tracing())
 	ns.Sched.Done(l.k.name, devIdx, est, measured)
-	ns.cl.FlopsCharged += cost.Flops
+	ns.flopsCharged += cost.Flops
 	if ns.cl.cfg.Verify {
 		if err := compiled.Run(l.spec.Args...); err != nil {
 			return fmt.Errorf("core: verification execution failed: %w", err)

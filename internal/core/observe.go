@@ -31,24 +31,27 @@ func (t schedTracer) QueueDepth(tm simnet.Time, depth int) {
 // run: simulation-kernel statistics, Satin runtime statistics, network
 // traffic, device utilization, plus — when tracing is on — every counter the
 // recorder accumulated, per node and summed.
+//
+// Every value here is trajectory-determined: for the same program and seed
+// the dump is byte-identical across partition counts and parallel/oracle
+// modes (the determinism CI job diffs exactly this). Quantities that depend
+// on the partition layout or the host (goroutine switches, queue high-water
+// marks, synchronization rounds, wall times) live in HostMetrics instead.
 func (cl *Cluster) CollectMetrics() *trace.Metrics {
 	m := trace.NewMetrics()
 
-	st := cl.k.Stats()
+	st := cl.ps.AggregateKernelStats()
 	m.SetInt("simnet.events", st.Events)
-	m.SetInt("simnet.self_wakes", st.SelfWakes)
-	m.SetInt("simnet.switches", st.Switches)
 	m.SetInt("simnet.stale_wakes", st.Stale)
 	m.SetInt("simnet.callbacks", st.Callbacks)
 	m.SetInt("simnet.spawned_procs", st.Spawns)
-	m.SetInt("simnet.max_queue", int64(st.MaxQueue))
-	m.SetInt("sim.virtual_time_ns", int64(cl.k.Now()))
+	m.SetInt("sim.virtual_time_ns", int64(cl.ps.Now()))
 
-	m.SetInt("satin.jobs_spawned", cl.rt.JobsSpawned)
-	m.SetInt("satin.jobs_executed", cl.rt.JobsExecuted)
-	m.SetInt("satin.jobs_reexecuted", cl.rt.JobsReExecuted)
-	m.SetInt("satin.steals_ok", cl.rt.StealsOK)
-	m.SetInt("satin.steals_failed", cl.rt.StealsFailed)
+	m.SetInt("satin.jobs_spawned", cl.rt.JobsSpawned())
+	m.SetInt("satin.jobs_executed", cl.rt.JobsExecuted())
+	m.SetInt("satin.jobs_reexecuted", cl.rt.JobsReExecuted())
+	m.SetInt("satin.steals_ok", cl.rt.StealsOK())
+	m.SetInt("satin.steals_failed", cl.rt.StealsFailed())
 
 	fab := cl.rt.Fabric()
 	m.SetInt("net.bytes_sent", fab.BytesSent())
@@ -73,11 +76,41 @@ func (cl *Cluster) CollectMetrics() *trace.Metrics {
 	m.SetInt("mcl.kernel_busy_ns", int64(kernelBusy))
 	m.SetInt("mcl.xfer_busy_ns", int64(xferBusy))
 	m.SetInt("mcl.overlap_lower_bound_ns", int64(overlap))
-	m.SetInt("core.cpu_fallbacks", cl.CPUFallbacks)
+	m.SetInt("core.cpu_fallbacks", cl.CPUFallbacks())
 	m.SetInt("core.cost_cache_hits", costHits)
 	m.SetInt("core.cost_cache_misses", costMisses)
-	m.SetFloat("core.flops_charged", cl.FlopsCharged, "flop")
+	m.SetFloat("core.flops_charged", cl.FlopsCharged(), "flop")
 
 	m.MergeCounters(cl.rec)
+	return m
+}
+
+// HostMetrics gathers the quantities CollectMetrics deliberately leaves out:
+// scheduler internals that vary with the partition layout (goroutine
+// switches, direct-handoff self-wakes, event-queue high-water marks) and the
+// partitioned scheduler's synchronization counters and wall-clock times.
+// Useful for performance reporting; never byte-compared.
+func (cl *Cluster) HostMetrics() *trace.Metrics {
+	m := trace.NewMetrics()
+	st := cl.ps.AggregateKernelStats()
+	m.SetInt("simnet.self_wakes", st.SelfWakes)
+	m.SetInt("simnet.switches", st.Switches)
+	m.SetInt("simnet.max_queue", int64(st.MaxQueue))
+
+	ps := cl.ps.Stats()
+	m.SetInt("pdes.partitions", int64(ps.Partitions))
+	m.SetInt("pdes.lookahead_ns", int64(ps.Lookahead))
+	m.SetInt("pdes.rounds", ps.Rounds)
+	m.SetInt("pdes.wall_ns", ps.WallNs)
+	for i, p := range ps.Parts {
+		pfx := fmt.Sprintf("pdes.p%d.", i)
+		m.SetInt(pfx+"nodes", int64(p.Nodes))
+		m.SetInt(pfx+"windows", p.Windows)
+		m.SetInt(pfx+"null_rounds", p.NullRounds)
+		m.SetInt(pfx+"cross_sent", p.CrossSent)
+		m.SetInt(pfx+"cross_recv", p.CrossRecv)
+		m.SetInt(pfx+"run_wall_ns", p.RunWallNs)
+		m.SetInt(pfx+"blocked_wall_ns", p.BlockedWallNs)
+	}
 	return m
 }

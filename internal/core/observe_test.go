@@ -59,7 +59,7 @@ func TestCollectMetrics(t *testing.T) {
 	cl := runScaleCluster(t, cfg)
 	m := cl.CollectMetrics()
 	for _, name := range []string{
-		"simnet.events", "simnet.switches", "sim.virtual_time_ns",
+		"simnet.events", "simnet.callbacks", "sim.virtual_time_ns",
 		"satin.jobs_spawned", "satin.jobs_executed",
 		"net.bytes_sent", "net.messages_sent",
 		"mcl.launches", "mcl.bytes_moved", "mcl.kernel_busy_ns",
@@ -68,14 +68,25 @@ func TestCollectMetrics(t *testing.T) {
 			t.Fatalf("metrics missing %q:\n%s", name, m.Format())
 		}
 	}
+	// Layout-dependent scheduler internals live in HostMetrics, never in the
+	// byte-compared dump.
+	if m.Has("simnet.switches") || m.Has("simnet.max_queue") {
+		t.Fatalf("layout-dependent metric leaked into CollectMetrics:\n%s", m.Format())
+	}
+	hm := cl.HostMetrics()
+	for _, name := range []string{"simnet.switches", "simnet.self_wakes", "pdes.partitions"} {
+		if !hm.Has(name) {
+			t.Fatalf("host metrics missing %q:\n%s", name, hm.Format())
+		}
+	}
 	if m.Int("mcl.launches") != 1 {
 		t.Fatalf("mcl.launches = %d, want 1", m.Int("mcl.launches"))
 	}
 	// The explicit runtime stat and the trace counter sum must agree, not
 	// double-count.
-	if m.Int("satin.jobs_executed") != cl.Runtime().JobsExecuted {
+	if m.Int("satin.jobs_executed") != cl.Runtime().JobsExecuted() {
 		t.Fatalf("satin.jobs_executed = %d, runtime says %d",
-			m.Int("satin.jobs_executed"), cl.Runtime().JobsExecuted)
+			m.Int("satin.jobs_executed"), cl.Runtime().JobsExecuted())
 	}
 	if m.Int("mcl.bytes_moved") == 0 || m.Int("net.bytes_sent") == 0 {
 		t.Fatalf("zero traffic metrics:\n%s", m.Format())
@@ -86,7 +97,7 @@ func TestCollectMetricsWithoutTracing(t *testing.T) {
 	cfg := DefaultConfig(2, "k20")
 	cl := runScaleCluster(t, cfg)
 	m := cl.CollectMetrics()
-	if m.Int("satin.jobs_executed") != cl.Runtime().JobsExecuted {
+	if m.Int("satin.jobs_executed") != cl.Runtime().JobsExecuted() {
 		t.Fatal("runtime stats must survive with tracing off")
 	}
 	if m.Int("mcl.launches") != 1 {

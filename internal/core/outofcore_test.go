@@ -42,10 +42,10 @@ func TestOutOfCoreLaunchStreamsOversizedData(t *testing.T) {
 	if dev.MemUsed() != 0 {
 		t.Fatalf("leaked %d bytes of device memory", dev.MemUsed())
 	}
-	if cl.CPUFallbacks != 0 {
+	if cl.CPUFallbacks() != 0 {
 		t.Fatal("out-of-core launch fell back to CPU")
 	}
-	if cl.FlopsCharged <= 0 {
+	if cl.FlopsCharged() <= 0 {
 		t.Fatal("no flops charged")
 	}
 }
@@ -65,8 +65,8 @@ func TestOversizedLaunchWithoutOutOfCoreFails(t *testing.T) {
 		}
 		return nil
 	})
-	if cl.CPUFallbacks != 1 {
-		t.Fatalf("CPUFallbacks = %d", cl.CPUFallbacks)
+	if cl.CPUFallbacks() != 1 {
+		t.Fatalf("CPUFallbacks = %d", cl.CPUFallbacks())
 	}
 }
 

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"cashmere/internal/satin"
+	"cashmere/internal/simnet"
+)
+
+// runPartitionedWorkload runs a steal-heavy divide-and-conquer workload with
+// device leaves over 4 nodes and returns the metric dump, which covers the
+// full trajectory (events, steals, traffic, launches, virtual time).
+func runPartitionedWorkload(t *testing.T, partitions int, oracle bool) string {
+	t.Helper()
+	cfg := DefaultConfig(4, "gtx480")
+	cfg.Seed = 7
+	cfg.Partitions = partitions
+	cfg.Oracle = oracle
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Register(mustKS(t, "scale", scaleKernel))
+	const leaves = 16
+	var leaf func(ctx *satin.Context, lo, hi int)
+	leaf = func(ctx *satin.Context, lo, hi int) {
+		if hi-lo == 1 {
+			k, err := GetKernel(ctx, "scale")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			k.NewLaunch(LaunchSpec{
+				Params:  map[string]int64{"n": 1 << 18},
+				InBytes: 4 << 18, OutBytes: 4 << 18,
+			}).Run(ctx)
+			return
+		}
+		mid := (lo + hi) / 2
+		ctx.Spawn(satin.JobDesc{
+			Name: fmt.Sprintf("r[%d,%d)", lo, mid), InputBytes: 4 << 18, ResultBytes: 8,
+		}, func(c *satin.Context) any { leaf(c, lo, mid); return nil })
+		ctx.Spawn(satin.JobDesc{
+			Name: fmt.Sprintf("r[%d,%d)", mid, hi), InputBytes: 4 << 18, ResultBytes: 8,
+		}, func(c *satin.Context) any { leaf(c, mid, hi); return nil })
+		ctx.Sync()
+	}
+	_, end, err := cl.Run(func(ctx *satin.Context) any {
+		leaf(ctx, 0, leaves)
+		return end2end
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end == 0 {
+		t.Fatal("zero virtual completion time")
+	}
+	return cl.CollectMetrics().Format()
+}
+
+const end2end = "done"
+
+// TestPartitionedTrajectoryIdentity is the determinism contract of the
+// conservative parallel scheduler: the same seed must produce byte-identical
+// metric dumps for the sequential kernel, the parallel partitioned scheduler,
+// and its sequential oracle mode.
+func TestPartitionedTrajectoryIdentity(t *testing.T) {
+	seq := runPartitionedWorkload(t, 1, false)
+	for _, tc := range []struct {
+		name       string
+		partitions int
+		oracle     bool
+	}{
+		{"parallel-2", 2, false},
+		{"parallel-4", 4, false},
+		{"oracle-4", 4, true},
+	} {
+		got := runPartitionedWorkload(t, tc.partitions, tc.oracle)
+		if got != seq {
+			t.Errorf("%s diverged from sequential:\n-- sequential --\n%s\n-- %s --\n%s",
+				tc.name, seq, tc.name, got)
+		}
+	}
+}
+
+// TestPartitionedStatsAccount checks that a parallel run actually exercises
+// the window protocol and counts cross-partition traffic.
+func TestPartitionedStatsAccount(t *testing.T) {
+	cfg := DefaultConfig(4, "gtx480")
+	cfg.Partitions = 4
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Register(mustKS(t, "scale", scaleKernel))
+	if _, _, err := cl.Run(func(ctx *satin.Context) any {
+		for i := 0; i < 8; i++ {
+			ctx.Spawn(satin.JobDesc{Name: "leaf", InputBytes: 1 << 16, ResultBytes: 8},
+				func(c *satin.Context) any {
+					c.Compute(simnet.Duration(2_000_000), "leaf")
+					return nil
+				})
+		}
+		ctx.Sync()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := cl.Scheduler().Stats()
+	if st.Partitions != 4 {
+		t.Fatalf("partitions = %d", st.Partitions)
+	}
+	if st.Rounds == 0 {
+		t.Fatal("no synchronization rounds recorded")
+	}
+	var sent, recv int64
+	for _, p := range st.Parts {
+		sent += p.CrossSent
+		recv += p.CrossRecv
+	}
+	if sent == 0 || sent != recv {
+		t.Fatalf("cross-partition events sent=%d recv=%d", sent, recv)
+	}
+	if cl.Scheduler().Lookahead() <= 0 {
+		t.Fatal("no lookahead registered by the network layer")
+	}
+}

@@ -115,7 +115,7 @@ func TestSchedulerBacklogReleasedOnErrorPaths(t *testing.T) {
 		if got := s.Backlog(0); got != 0 {
 			t.Errorf("backlog %v after out-of-memory error, want 0", got)
 		}
-		if cl.CPUFallbacks == 0 {
+		if cl.CPUFallbacks() == 0 {
 			t.Error("CPU fallback not counted")
 		}
 

@@ -11,10 +11,18 @@
 // the network becomes the bottleneck ("skewed computation/communication
 // ratio"), which is exactly what limits Matrix Multiplication scaling in
 // Fig. 9/10.
+//
+// The fabric is partition-aware: endpoints live on the simnet kernel that
+// owns their node, and a cross-node transfer schedules a delivery event on
+// the destination's kernel through the partitioned scheduler. The link
+// propagation latency is therefore the natural conservative lookahead — no
+// message can affect another node earlier than Config.Latency after it was
+// sent — and New registers it with the scheduler.
 package network
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"cashmere/internal/simnet"
@@ -24,7 +32,8 @@ import (
 // Config describes the fabric.
 type Config struct {
 	// Latency is the end-to-end small-message latency (hardware plus
-	// communication-software overhead).
+	// communication-software overhead). It doubles as the fabric's
+	// conservative lookahead: no cross-node interaction happens sooner.
 	Latency simnet.Duration
 	// Bandwidth is the per-NIC usable bandwidth in bytes/second.
 	Bandwidth float64
@@ -70,54 +79,80 @@ type Message struct {
 	Size    int64
 	Payload any
 	SentAt  simnet.Time
+
+	// Broadcast-forwarding state (receiver-driven binomial tree): the
+	// receiver's rank and next stride in the tree rooted at bcRoot.
+	bcast            bool
+	bcRank, bcStride int32
+	bcRoot           int32
 }
 
 // Fabric connects n nodes.
 type Fabric struct {
-	k     *simnet.Kernel
-	cfg   Config
-	nodes []*Endpoint
+	ps  *simnet.Partitioned
+	cfg Config
 
-	// couriers is the free list of pooled delivery processes. Every message
-	// in flight (propagation plus receive side) is carried by a courier;
-	// finished couriers park on their work queue and are reused, so
-	// steady-state traffic spawns no processes and allocates nothing.
-	couriers   []*courier
-	courierSeq int
-	relays     *simnet.ProcPool
+	nodes []*Endpoint
 
 	// rec, when non-nil, receives send/receive spans and per-link byte
 	// counters. Nil tracing keeps the message hot path allocation-free.
+	// Tracing requires a single partition (one Recorder sink).
 	rec *trace.Recorder
-
-	// Stats.
-	bytesSent int64
-	msgsSent  int64
 }
 
 // SetRecorder installs a trace recorder on the fabric (nil disables).
 // Sends then record sender-side serialization spans ("net.tx" lane:
 // software overhead, egress-link wait and wire time), deliveries record
-// receiver-side spans ("net.rx" lane: propagation and ingress
-// serialization), and both sides accumulate per-node byte counters.
-func (f *Fabric) SetRecorder(rec *trace.Recorder) { f.rec = rec }
+// receiver-side spans ("net.rx" lane: ingress serialization), and both
+// sides accumulate per-node byte counters.
+func (f *Fabric) SetRecorder(rec *trace.Recorder) {
+	if rec.Enabled() && f.ps.Parts() > 1 {
+		panic("network: tracing requires a single partition")
+	}
+	f.rec = rec
+}
 
 // Recorder returns the installed trace recorder (may be nil).
 func (f *Fabric) Recorder() *trace.Recorder { return f.rec }
 
-// courierWork is one in-flight message: the modeled propagation delay and,
-// for bulk transfers, the receive-side link occupancy before delivery.
-type courierWork struct {
-	dst  *Endpoint
+// arrival is a pooled cross-node delivery record. Senders pop one from the
+// destination endpoint's freelist (a mutex-guarded pop: senders may live on
+// other partitions), fill it, and schedule its preallocated fn on the
+// destination kernel; the fn recycles the record before delivering, so
+// steady-state message traffic allocates nothing.
+type arrival struct {
+	e    *Endpoint
 	m    Message
-	hold simnet.Duration // propagation (plus wire time on the control lane)
-	wire simnet.Duration // ingress serialization (bulk only)
-	bulk bool            // occupy the receiver's ingress link before delivery
+	wire simnet.Duration
+	bulk bool
+	fn   func()
+	next *arrival
 }
 
-// courier is a pooled delivery process.
+func (a *arrival) run() {
+	e, m, wire, bulk := a.e, a.m, a.wire, a.bulk
+	a.m = Message{}
+	e.arrMu.Lock()
+	a.next = e.arrFree
+	e.arrFree = a
+	e.arrMu.Unlock()
+	if bulk {
+		e.carry(m, wire)
+		return
+	}
+	e.deliver(m)
+}
+
+// courierWork is the receive side of one bulk transfer: occupy the ingress
+// link for the wire time, then deliver.
+type courierWork struct {
+	m    Message
+	wire simnet.Duration
+}
+
+// courier is a pooled receive-side delivery process of one endpoint.
 type courier struct {
-	f  *Fabric
+	e  *Endpoint
 	ch *simnet.Chan[courierWork]
 }
 
@@ -125,47 +160,59 @@ func (c *courier) loop(p *simnet.Proc) {
 	for {
 		w := c.ch.Recv(p)
 		start := p.Now()
-		p.Hold(w.hold)
-		if w.bulk {
-			w.dst.ingress.Use(p, 1, w.wire)
-		}
-		if c.f.rec.Enabled() {
-			c.f.rec.Add(trace.Span{
-				Node: w.dst.id, Queue: "net.rx", Kind: trace.KindRecv,
+		c.e.ingress.Use(p, 1, w.wire)
+		if f := c.e.f; f.rec.Enabled() {
+			f.rec.Add(trace.Span{
+				Node: c.e.id, Queue: "net.rx", Kind: trace.KindRecv,
 				Label: w.m.Kind, Start: start, End: p.Now(),
 				Attrs: []trace.Attr{trace.Int64Attr("bytes", w.m.Size), trace.Int64Attr("from", int64(w.m.From))},
 			})
 		}
-		w.dst.deliver(w.m)
-		c.f.couriers = append(c.f.couriers, c)
+		c.e.deliver(w.m)
+		c.e.couriers = append(c.e.couriers, c)
 	}
 }
 
-// carry hands one in-flight message to an idle courier, spawning a new one
-// only when all existing couriers are busy.
-func (f *Fabric) carry(w courierWork) {
-	if n := len(f.couriers); n > 0 {
-		c := f.couriers[n-1]
-		f.couriers = f.couriers[:n-1]
-		c.ch.Send(w)
+// carry hands an arrived bulk message to an idle courier of this endpoint,
+// spawning a new one only when all existing couriers are busy. It runs on
+// the endpoint's own partition, so the courier pool needs no locking.
+func (e *Endpoint) carry(m Message, wire simnet.Duration) {
+	if n := len(e.couriers); n > 0 {
+		c := e.couriers[n-1]
+		e.couriers = e.couriers[:n-1]
+		c.ch.Send(courierWork{m: m, wire: wire})
 		return
 	}
-	c := &courier{f: f, ch: simnet.NewChan[courierWork](f.k)}
-	f.courierSeq++
-	f.k.Spawn(fmt.Sprintf("net.courier.%d", f.courierSeq), func(p *simnet.Proc) { c.loop(p) })
-	c.ch.Send(w)
+	c := &courier{e: e, ch: simnet.NewChan[courierWork](e.k)}
+	e.courierSeq++
+	e.k.Spawn(fmt.Sprintf("net.courier.%d.%d", e.id, e.courierSeq), func(p *simnet.Proc) { c.loop(p) })
+	c.ch.Send(courierWork{m: m, wire: wire})
 }
 
-// Endpoint is one node's attachment to the fabric.
+// Endpoint is one node's attachment to the fabric. All of its mutable state
+// lives on (and is only touched from) the kernel owning its node; the only
+// cross-partition structure is the locked arrival freelist.
 type Endpoint struct {
 	f       *Fabric
+	k       *simnet.Kernel
 	id      int
 	egress  *simnet.Resource
 	ingress *simnet.Resource
 	inbox   *simnet.Chan[Message]
 	dead    bool
 
+	// couriers is the free list of pooled receive-side processes.
+	couriers   []*courier
+	courierSeq int
+	// relays runs receiver-side broadcast forwarding.
+	relays *simnet.ProcPool
+
+	arrMu   sync.Mutex
+	arrFree *arrival
+
 	// Always-on per-link counters (plain increments, never allocate).
+	// Out counters are written by the owning partition; In counters too
+	// (delivery runs on the destination kernel).
 	bytesOut, bytesIn int64
 	msgsOut, msgsIn   int64
 }
@@ -182,23 +229,36 @@ func (e *Endpoint) MessagesOut() int64 { return e.msgsOut }
 // MessagesIn reports the number of messages delivered to this endpoint.
 func (e *Endpoint) MessagesIn() int64 { return e.msgsIn }
 
-// New builds a fabric with n endpoints.
+// New builds a fabric with n endpoints on a single kernel.
 func New(k *simnet.Kernel, n int, cfg Config) *Fabric {
+	return NewPartitioned(simnet.Single(k), n, cfg)
+}
+
+// NewPartitioned builds a fabric with n endpoints, each bound to the kernel
+// that owns its node, and registers the link latency as the scheduler's
+// conservative lookahead.
+func NewPartitioned(ps *simnet.Partitioned, n int, cfg Config) *Fabric {
 	if n <= 0 {
 		panic("network: need at least one node")
 	}
 	if cfg.Bandwidth <= 0 {
 		panic("network: bandwidth must be positive")
 	}
-	f := &Fabric{k: k, cfg: cfg}
-	f.relays = simnet.NewProcPool(k, "net.bcast.relay")
+	if cfg.Latency <= 0 && ps.Parts() > 1 {
+		panic("network: partitioned fabric needs a positive latency (lookahead)")
+	}
+	ps.SetLookahead(cfg.Latency)
+	f := &Fabric{ps: ps, cfg: cfg}
 	for i := 0; i < n; i++ {
+		k := ps.KernelFor(i)
 		f.nodes = append(f.nodes, &Endpoint{
 			f:       f,
+			k:       k,
 			id:      i,
 			egress:  simnet.NewResource(k, fmt.Sprintf("net.egress.%d", i), 1),
 			ingress: simnet.NewResource(k, fmt.Sprintf("net.ingress.%d", i), 1),
 			inbox:   simnet.NewChan[Message](k),
+			relays:  simnet.NewProcPool(k, fmt.Sprintf("net.bcast.relay.%d", i)),
 		})
 	}
 	return f
@@ -213,11 +273,26 @@ func (f *Fabric) Size() int { return len(f.nodes) }
 // Config returns the fabric configuration.
 func (f *Fabric) Config() Config { return f.cfg }
 
+// Scheduler returns the partitioned scheduler the fabric runs on.
+func (f *Fabric) Scheduler() *simnet.Partitioned { return f.ps }
+
 // BytesSent reports the total payload bytes injected into the fabric.
-func (f *Fabric) BytesSent() int64 { return f.bytesSent }
+func (f *Fabric) BytesSent() int64 {
+	var n int64
+	for _, e := range f.nodes {
+		n += e.bytesOut
+	}
+	return n
+}
 
 // MessagesSent reports the total number of messages injected.
-func (f *Fabric) MessagesSent() int64 { return f.msgsSent }
+func (f *Fabric) MessagesSent() int64 {
+	var n int64
+	for _, e := range f.nodes {
+		n += e.msgsOut
+	}
+	return n
+}
 
 // TransferTime reports the modeled one-way time for a message of s bytes on
 // an uncontended path: software overhead, egress serialization, propagation
@@ -243,41 +318,75 @@ func (e *Endpoint) Kill() { e.dead = true }
 // Alive reports whether the endpoint is alive.
 func (e *Endpoint) Alive() bool { return !e.dead }
 
+// getArrival pops a pooled arrival record (called from the sender's
+// partition, hence the lock).
+func (e *Endpoint) getArrival() *arrival {
+	e.arrMu.Lock()
+	a := e.arrFree
+	if a != nil {
+		e.arrFree = a.next
+		a.next = nil
+	}
+	e.arrMu.Unlock()
+	if a == nil {
+		a = &arrival{e: e}
+		a.fn = a.run
+	}
+	return a
+}
+
+// schedule books m's delivery at the destination at time t (on the
+// destination's kernel, across partitions if needed). The delivery executes
+// under the destination node's event stream: everything it triggers —
+// inbox wakes, courier spawns, broadcast relays — counts on the receiving
+// node's creation counter, which is what keeps trajectories independent of
+// the partition layout.
+func (e *Endpoint) schedule(dst *Endpoint, t simnet.Time, m Message, wire simnet.Duration, bulk bool) {
+	a := dst.getArrival()
+	a.m = m
+	a.wire = wire
+	a.bulk = bulk
+	e.f.ps.Post(e.k, dst.k, dst.id, t, a.fn)
+}
+
 // Send transfers a message to node `to`, blocking the calling process for
 // the modeled duration (sender-side occupancy: software overhead plus link
 // serialization). Delivery happens after the propagation latency; the
-// receiver is not blocked until it calls Recv.
+// receiver is not blocked until it calls Recv. The calling process must run
+// on the sending node's partition.
 func (e *Endpoint) Send(p *simnet.Proc, to int, kind string, size int64, payload any) {
+	m := Message{From: e.id, To: to, Kind: kind, Size: size, Payload: payload, SentAt: e.k.Now()}
+	e.send(p, m)
+}
+
+func (e *Endpoint) send(p *simnet.Proc, m Message) {
 	if e.dead {
 		// A dead node cannot transmit; model as silent loss. The caller's
 		// process usually gets cancelled by the failure detector.
 		return
 	}
-	dst := e.f.nodes[to]
-	m := Message{From: e.id, To: to, Kind: kind, Size: size, Payload: payload, SentAt: e.f.k.Now()}
-	e.f.msgsSent++
-	e.f.bytesSent += size
+	dst := e.f.nodes[m.To]
 	e.msgsOut++
-	e.bytesOut += size
+	e.bytesOut += m.Size
 	if e.f.rec.Enabled() {
-		e.f.rec.CounterAdd(e.id, "net.bytes_out", e.f.k.Now(), size)
+		e.f.rec.CounterAdd(e.id, "net.bytes_out", e.k.Now(), m.Size)
 	}
 
-	if to == e.id {
+	if m.To == e.id {
 		// Intra-node delivery: only the software overhead.
 		p.Hold(e.f.cfg.PerMessageCPU)
 		dst.deliver(m)
 		return
 	}
 
-	wire := time.Duration(float64(size) / e.f.cfg.Bandwidth * float64(time.Second))
-	start := e.f.k.Now()
+	wire := time.Duration(float64(m.Size) / e.f.cfg.Bandwidth * float64(time.Second))
+	start := e.k.Now()
 	p.Hold(e.f.cfg.PerMessageCPU)
 	lat := e.f.cfg.Latency
-	if size < ControlThreshold {
+	if m.Size < ControlThreshold {
 		// Control lane: interleaved with bulk traffic, never queued
 		// behind it.
-		e.f.carry(courierWork{dst: dst, m: m, hold: lat + wire})
+		e.schedule(dst, e.k.Now().Add(lat+wire), m, 0, false)
 		return
 	}
 	e.egress.Use(p, 1, wire)
@@ -288,12 +397,12 @@ func (e *Endpoint) Send(p *simnet.Proc, to int, kind string, size int64, payload
 		// computation/communication ratio".
 		e.f.rec.Add(trace.Span{
 			Node: e.id, Queue: "net.tx", Kind: trace.KindSend,
-			Label: kind, Start: start, End: e.f.k.Now(),
-			Attrs: []trace.Attr{trace.Int64Attr("bytes", size), trace.Int64Attr("to", int64(to))},
+			Label: m.Kind, Start: start, End: e.k.Now(),
+			Attrs: []trace.Attr{trace.Int64Attr("bytes", m.Size), trace.Int64Attr("to", int64(m.To))},
 		})
 	}
 	// Propagation and receive-side DMA proceed without occupying the sender.
-	e.f.carry(courierWork{dst: dst, m: m, hold: lat, wire: wire, bulk: true})
+	e.schedule(dst, e.k.Now().Add(lat), m, wire, true)
 }
 
 func (e *Endpoint) deliver(m Message) {
@@ -303,7 +412,18 @@ func (e *Endpoint) deliver(m Message) {
 	e.msgsIn++
 	e.bytesIn += m.Size
 	if e.f.rec.Enabled() {
-		e.f.rec.CounterAdd(e.id, "net.bytes_in", e.f.k.Now(), m.Size)
+		e.f.rec.CounterAdd(e.id, "net.bytes_in", e.k.Now(), m.Size)
+	}
+	if m.bcast {
+		// Receiver-driven forwarding: this node continues the binomial
+		// tree from its own endpoint, after the message physically arrived
+		// here (store-and-forward, charged to this node's links).
+		rank, stride, root := int(m.bcRank), int(m.bcStride), int(m.bcRoot)
+		if stride < e.f.Size() {
+			e.relays.Go(func(rp *simnet.Proc) {
+				e.bcastForward(rp, rank, stride, m.Kind, m.Size, m.Payload, root)
+			})
+		}
 	}
 	e.inbox.Send(m)
 }
@@ -329,34 +449,36 @@ func (e *Endpoint) Pending() int { return e.inbox.Len() }
 // Broadcast sends the message from this endpoint to every other live node
 // using a binomial tree rooted at the sender, the standard O(log n) pattern
 // used for Cashmere's master-to-slave runtime-information broadcast and for
-// Satin shared-object updates. The calling process is blocked only for the
-// root's sends; interior forwarding is charged to spawned relay processes.
+// Satin shared-object updates. Forwarding is receiver-driven: an interior
+// node relays to its subtree only after the message arrived at it, from its
+// own endpoint (so every hop is charged to the links it actually crosses
+// and stays within the receiving node's partition).
 func (e *Endpoint) Broadcast(p *simnet.Proc, kind string, size int64, payload any) {
-	n := e.f.Size()
-	if n <= 1 {
+	if e.f.Size() <= 1 {
 		return
 	}
-	// Relabel nodes so the root is rank 0; rank r sends to r+2^k for each
-	// round k where r < 2^k.
-	var send func(p *simnet.Proc, rank, stride int)
-	send = func(p *simnet.Proc, rank, stride int) {
-		for ; stride < n; stride *= 2 {
-			if rank >= stride {
-				continue
-			}
-			peer := rank + stride
-			if peer >= n {
-				break
-			}
-			peerID := (e.id + peer) % n
-			src := e.f.nodes[(e.id+rank)%n]
-			childStride := stride * 2
-			src.Send(p, peerID, kind, size, payload)
-			// The receiving node forwards further down the tree.
-			e.f.relays.Go(func(rp *simnet.Proc) {
-				send(rp, peer, childStride)
-			})
+	e.bcastForward(p, 0, 1, kind, size, payload, e.id)
+}
+
+// bcastForward performs the sends of the tree node with the given rank,
+// starting at the given stride, in the tree rooted at node root. Rank r
+// sends to r+stride for every doubling stride with r < stride <= r+stride < n.
+func (e *Endpoint) bcastForward(p *simnet.Proc, rank, stride int, kind string, size int64, payload any, root int) {
+	n := e.f.Size()
+	for ; stride < n; stride *= 2 {
+		if rank >= stride {
+			continue
 		}
+		peer := rank + stride
+		if peer >= n {
+			break
+		}
+		peerID := (root + peer) % n
+		m := Message{
+			From: e.id, To: peerID, Kind: kind, Size: size, Payload: payload,
+			SentAt: e.k.Now(),
+			bcast:  true, bcRank: int32(peer), bcStride: int32(stride * 2), bcRoot: int32(root),
+		}
+		e.send(p, m)
 	}
-	send(p, 0, 1)
 }

@@ -58,22 +58,24 @@ func (c *Context) Compute(d simnet.Duration, label string) {
 // thread of this node, concurrently in virtual time with its siblings.
 func (c *Context) Spawn(desc JobDesc, fn func(ctx *Context) any) *Promise {
 	rt := c.node.rt
-	rt.JobsSpawned++
+	c.node.jobsSpawned++
 	rt.rec.CounterAdd(c.node.ID, "satin.spawns", c.p.Now(), 1)
-	rt.nextJob++
+	c.node.jobSeq++
 	job := &Job{
-		ID:     rt.nextJob,
+		// Job IDs are node-scoped (node id in the high bits) so id assignment
+		// needs no cross-node state and is identical in every partition layout.
+		ID:     uint64(c.node.ID)<<40 | c.node.jobSeq,
 		Desc:   desc,
 		fn:     fn,
 		owner:  c.node.ID,
-		result: simnet.NewFuture[any](rt.k),
+		result: simnet.NewFuture[any](c.node.k),
 	}
 	c.children = append(c.children, job)
 	c.p.Hold(rt.cfg.SpawnOverhead)
 	if c.manyCore {
 		node := c.node
 		workerID := c.workerID
-		rt.pool.Go(func(p *simnet.Proc) {
+		node.pool.Go(func(p *simnet.Proc) {
 			ctx := &Context{p: p, node: node, workerID: workerID, manyCore: true}
 			v := job.fn(ctx)
 			if !job.result.Done() {

@@ -25,16 +25,16 @@ func TestRuntimeRecordsObservability(t *testing.T) {
 		executed += rec.CounterTotal(n, "satin.jobs_executed")
 		stealsOK += rec.CounterTotal(n, "satin.steals_ok")
 	}
-	if spawns != rt.JobsSpawned {
-		t.Fatalf("satin.spawns = %d, runtime says %d", spawns, rt.JobsSpawned)
+	if spawns != rt.JobsSpawned() {
+		t.Fatalf("satin.spawns = %d, runtime says %d", spawns, rt.JobsSpawned())
 	}
-	if executed != rt.JobsExecuted {
-		t.Fatalf("satin.jobs_executed = %d, runtime says %d", executed, rt.JobsExecuted)
+	if executed != rt.JobsExecuted() {
+		t.Fatalf("satin.jobs_executed = %d, runtime says %d", executed, rt.JobsExecuted())
 	}
-	if stealsOK != rt.StealsOK {
-		t.Fatalf("satin.steals_ok = %d, runtime says %d", stealsOK, rt.StealsOK)
+	if stealsOK != rt.StealsOK() {
+		t.Fatalf("satin.steals_ok = %d, runtime says %d", stealsOK, rt.StealsOK())
 	}
-	if rt.StealsOK == 0 {
+	if rt.StealsOK() == 0 {
 		t.Fatal("run produced no steals; test proves nothing")
 	}
 
@@ -97,7 +97,7 @@ func TestCrashRecordsCounters(t *testing.T) {
 	if crashes != 1 {
 		t.Fatalf("satin.crashes = %d, want 1", crashes)
 	}
-	if reexec != rt.JobsReExecuted {
-		t.Fatalf("satin.reexecutions = %d, runtime says %d", reexec, rt.JobsReExecuted)
+	if reexec != rt.JobsReExecuted() {
+		t.Fatalf("satin.reexecutions = %d, runtime says %d", reexec, rt.JobsReExecuted())
 	}
 }

@@ -20,6 +20,7 @@ package satin
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"cashmere/internal/network"
@@ -100,44 +101,60 @@ func (p *Promise) Value() any {
 	return v
 }
 
-// Runtime is a Satin execution over a set of cluster nodes.
+// Runtime is a Satin execution over a set of cluster nodes. All mutable
+// runtime state is sharded per node (deques, pools, RNGs, counters), so
+// nodes bound to different partitions of a partitioned simulation never
+// share memory; cross-node effects travel exclusively over the network
+// fabric.
 type Runtime struct {
-	k      *simnet.Kernel
+	ps     *simnet.Partitioned
+	k      *simnet.Kernel // partition 0's kernel (the master's)
 	fabric *network.Fabric
 	cfg    Config
 	nodes  []*Node
 	rec    *trace.Recorder
-	// pool runs the runtime's short-lived helper activities (steal-data
-	// transfers, many-core threads) on recycled processes instead of
-	// spawning a named goroutine per activity.
-	pool *simnet.ProcPool
 
-	nextJob uint64
-	done    bool
-	result  any
+	result any
 
 	shared []*SharedObject
 
-	// Stats.
-	JobsExecuted   int64
-	JobsSpawned    int64
-	StealsOK       int64
-	StealsFailed   int64
-	JobsReExecuted int64
+	// handler, when non-nil, is consulted by every node's comm loop for
+	// message kinds the runtime does not handle itself (the extension point
+	// of the serving layer). Install it with SetMessageHandler before Run.
+	handler func(ctx *Context, m network.Message) bool
 }
 
 // Node is one cluster node's runtime state.
 type Node struct {
 	ID  int
 	rt  *Runtime
+	k   *simnet.Kernel // the kernel of the partition owning this node
 	ep  *network.Endpoint
 	dev any // opaque slot for the Cashmere layer (device scheduler)
+
+	// rng drives this node's victim selection. Per-node streams (seeded
+	// from the runtime seed and the node id) keep trajectories independent
+	// of the partition layout.
+	rng *rand.Rand
+	// pool runs the node's short-lived helper activities (steal-data
+	// transfers, many-core threads) on recycled processes instead of
+	// spawning a named goroutine per activity.
+	pool *simnet.ProcPool
 
 	deque        []*Job
 	pendingSteal map[int]*simnet.Chan[*Job]
 	stealReply   map[int]*simnet.Chan[*Job] // per-worker reply chans, reused across steal rounds
 	outstanding  map[uint64]outRec          // jobs stolen from us, by job ID
+	jobSeq       uint64
+	done         bool
 	dead         bool
+
+	// Stats (per node; Runtime sums them on demand).
+	jobsExecuted   int64
+	jobsSpawned    int64
+	stealsOK       int64
+	stealsFailed   int64
+	jobsReExecuted int64
 }
 
 type outRec struct {
@@ -145,9 +162,16 @@ type outRec struct {
 	thief int
 }
 
-// New creates a runtime over n nodes with the given fabric configuration.
-// Node 0 is the master.
+// New creates a runtime over n nodes with the given fabric configuration on a
+// standalone kernel. Node 0 is the master.
 func New(k *simnet.Kernel, n int, netCfg network.Config, cfg Config, rec *trace.Recorder) *Runtime {
+	return NewPartitioned(simnet.Single(k), n, netCfg, cfg, rec)
+}
+
+// NewPartitioned creates a runtime over n nodes on a partitioned scheduler.
+// Every node's procs, deque, pool, counters and random stream live on the
+// kernel of the partition that owns it.
+func NewPartitioned(ps *simnet.Partitioned, n int, netCfg network.Config, cfg Config, rec *trace.Recorder) *Runtime {
 	if cfg.WorkersPerNode <= 0 {
 		cfg.WorkersPerNode = 1
 	}
@@ -155,18 +179,25 @@ func New(k *simnet.Kernel, n int, netCfg network.Config, cfg Config, rec *trace.
 		cfg.MaxIdleBackoff = 50 * time.Millisecond
 	}
 	rt := &Runtime{
-		k:      k,
-		fabric: network.New(k, n, netCfg),
+		ps:     ps,
+		k:      ps.Kernels()[0],
+		fabric: network.NewPartitioned(ps, n, netCfg),
 		cfg:    cfg,
 		rec:    rec,
-		pool:   simnet.NewProcPool(k, "satin.pool"),
 	}
 	rt.fabric.SetRecorder(rec)
+	seed := ps.Seed()
 	for i := 0; i < n; i++ {
+		nk := ps.KernelFor(i)
 		rt.nodes = append(rt.nodes, &Node{
-			ID:           i,
-			rt:           rt,
-			ep:           rt.fabric.Endpoint(i),
+			ID: i,
+			rt: rt,
+			k:  nk,
+			ep: rt.fabric.Endpoint(i),
+			// Mix the node id into the seed with a large odd constant so the
+			// streams are distinct yet fully determined by (seed, node).
+			rng:          rand.New(rand.NewSource(seed + int64(i+1)*2_654_435_761)),
+			pool:         simnet.NewProcPool(nk, fmt.Sprintf("satin.pool.%d", i)),
 			pendingSteal: map[int]*simnet.Chan[*Job]{},
 			stealReply:   map[int]*simnet.Chan[*Job]{},
 			outstanding:  map[uint64]outRec{},
@@ -175,8 +206,21 @@ func New(k *simnet.Kernel, n int, netCfg network.Config, cfg Config, rec *trace.
 	return rt
 }
 
-// Kernel returns the simulation kernel.
+// Kernel returns the master's simulation kernel (partition 0).
 func (rt *Runtime) Kernel() *simnet.Kernel { return rt.k }
+
+// Scheduler returns the partitioned scheduler the runtime executes on.
+func (rt *Runtime) Scheduler() *simnet.Partitioned { return rt.ps }
+
+// SetMessageHandler installs a hook consulted by every node's comm loop for
+// message kinds the runtime itself does not understand. The hook runs on the
+// receiving node's comm-loop process; long work must be moved off it with
+// Node.GoLocal. Must be installed before Run (installing it later would race
+// with comm loops on other partitions). The returned bool reports whether the
+// hook consumed the message.
+func (rt *Runtime) SetMessageHandler(h func(ctx *Context, m network.Message) bool) {
+	rt.handler = h
+}
 
 // Fabric returns the network fabric.
 func (rt *Runtime) Fabric() *network.Fabric { return rt.fabric }
@@ -203,35 +247,78 @@ func (n *Node) Alive() bool { return !n.dead }
 // QueueLen reports the deque length (for tests).
 func (n *Node) QueueLen() int { return len(n.deque) }
 
+// Kernel returns the kernel of the partition owning this node.
+func (n *Node) Kernel() *simnet.Kernel { return n.k }
+
+// GoLocal runs fn on one of the node's pooled processes, on the node's own
+// kernel. It is the escape hatch for message handlers that must not block the
+// comm loop.
+func (n *Node) GoLocal(fn func(ctx *Context)) {
+	n.pool.Go(func(p *simnet.Proc) {
+		fn(&Context{p: p, node: n, manyCore: true})
+	})
+}
+
+// JobsExecuted sums the per-node executed-job counters.
+func (rt *Runtime) JobsExecuted() int64 { return rt.sum(func(n *Node) int64 { return n.jobsExecuted }) }
+
+// JobsSpawned sums the per-node spawn counters.
+func (rt *Runtime) JobsSpawned() int64 { return rt.sum(func(n *Node) int64 { return n.jobsSpawned }) }
+
+// StealsOK sums the per-node successful-steal counters.
+func (rt *Runtime) StealsOK() int64 { return rt.sum(func(n *Node) int64 { return n.stealsOK }) }
+
+// StealsFailed sums the per-node failed-steal counters.
+func (rt *Runtime) StealsFailed() int64 { return rt.sum(func(n *Node) int64 { return n.stealsFailed }) }
+
+// JobsReExecuted sums the per-node re-execution counters.
+func (rt *Runtime) JobsReExecuted() int64 {
+	return rt.sum(func(n *Node) int64 { return n.jobsReExecuted })
+}
+
+// sum folds a per-node counter. Must not be called while the simulation runs.
+func (rt *Runtime) sum(f func(*Node) int64) int64 {
+	var t int64
+	for _, n := range rt.nodes {
+		t += f(n)
+	}
+	return t
+}
+
 // Run executes main as the root job on the master node and runs the
 // simulation to completion. It returns main's result and the virtual time
 // taken.
 func (rt *Runtime) Run(main func(ctx *Context) any) (any, simnet.Time) {
 	for _, n := range rt.nodes {
 		n := n
-		rt.k.Spawn(fmt.Sprintf("satin.comm.%d", n.ID), func(p *simnet.Proc) { n.commLoop(p) })
+		// Every node-bound process is spawned onto its node's event stream:
+		// the stamps it produces are then independent of which partition the
+		// node landed on (see simnet.Kernel.SpawnOn).
+		n.k.SpawnOn(n.ID, fmt.Sprintf("satin.comm.%d", n.ID), func(p *simnet.Proc) { n.commLoop(p) })
 		for w := 0; w < rt.cfg.WorkersPerNode; w++ {
 			w := w
 			if n.ID == 0 && w == 0 {
 				continue // worker 0 of the master runs main
 			}
-			rt.k.Spawn(fmt.Sprintf("satin.worker.%d.%d", n.ID, w), func(p *simnet.Proc) {
+			n.k.SpawnOn(n.ID, fmt.Sprintf("satin.worker.%d.%d", n.ID, w), func(p *simnet.Proc) {
 				n.workerLoop(p, w)
 			})
 		}
 	}
 	var finished simnet.Time
-	rt.k.Spawn("satin.main", func(p *simnet.Proc) {
+	rt.k.SpawnOn(0, "satin.main", func(p *simnet.Proc) {
 		ctx := &Context{p: p, node: rt.nodes[0], workerID: 0}
 		rt.result = main(ctx)
-		rt.done = true
+		rt.nodes[0].done = true
 		finished = p.Now()
-		// Tell every comm loop to shut down.
+		// Tell every comm loop to shut down; remote nodes flip their own done
+		// flags when the broadcast reaches them, so no partition ever reads
+		// another's memory.
 		rt.nodes[0].ep.Broadcast(p, "shutdown", 64, nil)
 	})
 	// Drain remaining events (idle workers noticing done, comm shutdown);
 	// the reported completion time is when main returned.
-	rt.k.Run(0)
+	rt.ps.Run(0)
 	return rt.result, finished
 }
 
@@ -241,7 +328,7 @@ func (rt *Runtime) Run(main func(ctx *Context) any) (any, simnet.Time) {
 func (n *Node) workerLoop(p *simnet.Proc, id int) {
 	maxBackoff := n.rt.cfg.MaxIdleBackoff
 	backoff := n.rt.cfg.StealBackoff
-	for !n.rt.done && !n.dead {
+	for !n.done && !n.dead {
 		if job := n.popLocal(); job != nil {
 			n.runJob(p, id, job)
 			backoff = n.rt.cfg.StealBackoff
@@ -267,10 +354,7 @@ func (n *Node) workerLoop(p *simnet.Proc, id int) {
 // the Cashmere kernel front-end. Must be called from inside the running
 // simulation.
 func (rt *Runtime) GoOn(node int, fn func(ctx *Context)) {
-	n := rt.nodes[node]
-	rt.pool.Go(func(p *simnet.Proc) {
-		fn(&Context{p: p, node: n, manyCore: true})
-	})
+	rt.nodes[node].GoLocal(fn)
 }
 
 // popLocal takes the newest local job (depth-first execution order).
@@ -310,7 +394,7 @@ func (n *Node) trySteal(p *simnet.Proc, workerID int) *Job {
 		attempts = 1
 	}
 	for a := 0; a < attempts; a++ {
-		victim := rt.victim(n.ID)
+		victim := n.victim()
 		if victim < 0 {
 			return nil
 		}
@@ -318,7 +402,7 @@ func (n *Node) trySteal(p *simnet.Proc, workerID int) *Job {
 		key := workerID
 		reply := n.stealReply[key]
 		if reply == nil {
-			reply = simnet.NewChan[*Job](rt.k)
+			reply = simnet.NewChan[*Job](n.k)
 			n.stealReply[key] = reply
 		}
 		n.pendingSteal[key] = reply
@@ -345,7 +429,7 @@ func (n *Node) trySteal(p *simnet.Proc, workerID int) *Job {
 			}
 		}
 		if ok && job != nil && job != jobGranted {
-			rt.StealsOK++
+			n.stealsOK++
 			if rt.rec.Enabled() {
 				// Thief-side steal latency: request send to job-in-hand,
 				// including the input-data transfer (Fig. 16's narrow
@@ -362,24 +446,27 @@ func (n *Node) trySteal(p *simnet.Proc, workerID int) *Job {
 			}
 			return job
 		}
-		rt.StealsFailed++
+		n.stealsFailed++
 		rt.rec.CounterAdd(n.ID, "satin.steals_failed", p.Now(), 1)
 	}
 	return nil
 }
 
-// victim picks a random live node other than self.
-func (rt *Runtime) victim(self int) int {
+// victim picks a random live node other than self, from the node's own
+// random stream. The dead flags of remote nodes are only ever written in
+// single-partition mode (Kill), so the cross-node reads here are safe.
+func (n *Node) victim() int {
+	rt := n.rt
 	alive := make([]int, 0, len(rt.nodes))
-	for _, n := range rt.nodes {
-		if n.ID != self && !n.dead {
-			alive = append(alive, n.ID)
+	for _, c := range rt.nodes {
+		if c.ID != n.ID && !c.dead {
+			alive = append(alive, c.ID)
 		}
 	}
 	if len(alive) == 0 {
 		return -1
 	}
-	return alive[rt.k.Rand().Intn(len(alive))]
+	return alive[n.rng.Intn(len(alive))]
 }
 
 type stealReq struct {
@@ -410,13 +497,14 @@ func (n *Node) commLoop(p *simnet.Proc) {
 	for {
 		m, ok := n.ep.RecvTimeout(p, 250*time.Millisecond)
 		if !ok {
-			if n.rt.done || n.dead {
+			if n.done || n.dead {
 				return
 			}
 			continue
 		}
 		switch m.Kind {
 		case "shutdown":
+			n.done = true
 			return
 		case "steal_request":
 			req := m.Payload.(stealReq)
@@ -433,7 +521,7 @@ func (n *Node) commLoop(p *simnet.Proc) {
 			// grant timeout.
 			n.ep.Send(p, req.Thief, "steal_reply", 64, stealReply{Worker: req.Worker, Job: jobGranted})
 			ep, thief, worker := n.ep, req.Thief, req.Worker
-			n.rt.pool.Go(func(sp *simnet.Proc) {
+			n.pool.Go(func(sp *simnet.Proc) {
 				ep.Send(sp, thief, "steal_reply", job.Desc.InputBytes, stealReply{Worker: worker, Job: job})
 			})
 		case "steal_reply":
@@ -456,6 +544,10 @@ func (n *Node) commLoop(p *simnet.Proc) {
 		case "shared_update":
 			up := m.Payload.(sharedUpdate)
 			n.rt.shared[up.Index].applyLocal(n.ID, up.Args)
+		default:
+			if h := n.rt.handler; h != nil {
+				h(&Context{p: p, node: n, manyCore: true}, m)
+			}
 		}
 	}
 }
@@ -463,14 +555,14 @@ func (n *Node) commLoop(p *simnet.Proc) {
 func (n *Node) span(kind trace.Kind, label string, start simnet.Time) {
 	n.rt.rec.Add(trace.Span{
 		Node: n.ID, Queue: "q0", Kind: kind, Label: label,
-		Start: start, End: n.rt.k.Now(),
+		Start: start, End: n.k.Now(),
 	})
 }
 
 // noteQueueDepth samples the deque-depth gauge after a deque mutation.
 func (n *Node) noteQueueDepth() {
 	if n.rt.rec.Enabled() {
-		n.rt.rec.GaugeSet(n.ID, "satin.queue_depth", n.rt.k.Now(), int64(len(n.deque)))
+		n.rt.rec.GaugeSet(n.ID, "satin.queue_depth", n.k.Now(), int64(len(n.deque)))
 	}
 }
 
@@ -479,7 +571,7 @@ func (n *Node) noteQueueDepth() {
 // was stolen from another node.
 func (n *Node) runJob(p *simnet.Proc, workerID int, job *Job) {
 	rt := n.rt
-	rt.JobsExecuted++
+	n.jobsExecuted++
 	rt.rec.CounterAdd(n.ID, "satin.jobs_executed", p.Now(), 1)
 	ctx := &Context{p: p, node: n, workerID: workerID}
 	v := job.fn(ctx)
@@ -499,6 +591,12 @@ func (rt *Runtime) Kill(id int) {
 	if id == 0 {
 		panic("satin: cannot kill the master in this reproduction")
 	}
+	if rt.ps.Parts() > 1 {
+		// Kill mutates the deques and outstanding tables of every live node,
+		// which partitions own privately; the fault-tolerance experiments run
+		// sequentially.
+		panic("satin: Kill requires a single-partition simulation")
+	}
 	victim := rt.nodes[id]
 	victim.dead = true
 	victim.ep.Kill()
@@ -512,7 +610,7 @@ func (rt *Runtime) Kill(id int) {
 			if rec.thief == id {
 				delete(n.outstanding, jid)
 				n.deque = append(n.deque, rec.job)
-				rt.JobsReExecuted++
+				n.jobsReExecuted++
 				rt.rec.CounterAdd(n.ID, "satin.reexecutions", rt.k.Now(), 1)
 				n.noteQueueDepth()
 			}
@@ -524,7 +622,7 @@ func (rt *Runtime) Kill(id int) {
 	for _, job := range victim.deque {
 		if owner := rt.nodes[job.owner]; job.owner != id && !owner.dead {
 			owner.deque = append(owner.deque, job)
-			rt.JobsReExecuted++
+			owner.jobsReExecuted++
 			rt.rec.CounterAdd(job.owner, "satin.reexecutions", rt.k.Now(), 1)
 			owner.noteQueueDepth()
 		}

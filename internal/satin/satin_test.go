@@ -43,7 +43,7 @@ func TestFibMultiNodeCorrectness(t *testing.T) {
 		if v.(int) != 144 {
 			t.Fatalf("%d nodes: fib(12) = %v, want 144", nodes, v)
 		}
-		if rt.StealsOK == 0 {
+		if rt.StealsOK() == 0 {
 			t.Fatalf("%d nodes: no successful steals", nodes)
 		}
 	}
@@ -145,8 +145,8 @@ func TestManyCoreJobsAreNotStealable(t *testing.T) {
 		}
 		return nil
 	})
-	if rt.StealsOK != 0 {
-		t.Fatalf("many-core jobs were stolen (%d)", rt.StealsOK)
+	if rt.StealsOK() != 0 {
+		t.Fatalf("many-core jobs were stolen (%d)", rt.StealsOK())
 	}
 }
 
@@ -280,11 +280,11 @@ func TestStatsAccounting(t *testing.T) {
 		return divideAndCompute(ctx, 64, 100*time.Microsecond)
 	})
 	// 64 leaves => 63 internal division jobs x2 spawns... at minimum 126.
-	if rt.JobsSpawned < 126 || rt.JobsExecuted < 126 {
-		t.Fatalf("spawned=%d executed=%d", rt.JobsSpawned, rt.JobsExecuted)
+	if rt.JobsSpawned() < 126 || rt.JobsExecuted() < 126 {
+		t.Fatalf("spawned=%d executed=%d", rt.JobsSpawned(), rt.JobsExecuted())
 	}
-	if rt.JobsExecuted > rt.JobsSpawned {
-		t.Fatalf("executed %d > spawned %d", rt.JobsExecuted, rt.JobsSpawned)
+	if rt.JobsExecuted() > rt.JobsSpawned() {
+		t.Fatalf("executed %d > spawned %d", rt.JobsExecuted(), rt.JobsSpawned())
 	}
 }
 
@@ -294,7 +294,7 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 		_, end := rt.Run(func(ctx *Context) any {
 			return divideAndCompute(ctx, 100, 300*time.Microsecond)
 		})
-		return rt.StealsOK, end
+		return rt.StealsOK(), end
 	}
 	s1, e1 := run()
 	s2, e2 := run()

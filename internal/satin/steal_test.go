@@ -37,8 +37,8 @@ func TestLargeJobStealSurvivesGrantPhase(t *testing.T) {
 	if v.(int) != 1 {
 		t.Fatalf("job ran on node %v, want stolen by node 1", v)
 	}
-	if rt.StealsOK != 1 {
-		t.Fatalf("StealsOK = %d", rt.StealsOK)
+	if rt.StealsOK() != 1 {
+		t.Fatalf("StealsOK = %d", rt.StealsOK())
 	}
 	// The input must have crossed the wire exactly once (plus control
 	// messages): total fabric traffic stays well under 2x the input.

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"cashmere/internal/core"
+	"cashmere/internal/network"
+	"cashmere/internal/satin"
+	"cashmere/internal/simnet"
+	"cashmere/internal/trace"
+)
+
+// Remote dispatch protocol. The frontend and all its state live on node 0;
+// work reaches the other nodes' device schedulers through the satin message
+// layer, never through shared memory, so a partitioned simulation can spread
+// the nodes over parallel event loops:
+//
+//   - one proxy dispatcher per remote dispatcher slot runs on node 0: it
+//     pulls WFQ batches exactly like a local dispatcher, ships each batch to
+//     its node as a "serve_batch" message sized with the batch input bytes,
+//     and waits for the reply before pulling the next batch (one batch in
+//     flight per slot, matching a local dispatcher's occupancy);
+//   - the remote node's comm loop hands the message to a pooled process
+//     that runs the coalesced launch through the node's device scheduler and
+//     replies "serve_done" sized with the output bytes;
+//   - the proxy completes the batch's requests when the reply arrives, so
+//     latency includes both network crossings.
+//
+// The same protocol runs in every partition layout (including the single
+// sequential kernel), which keeps trajectories byte-identical across
+// -partitions values.
+
+// kindBatch/kindDone are the satin message kinds of the protocol.
+const (
+	kindBatch = "serve_batch"
+	kindDone  = "serve_done"
+)
+
+type batchMsg struct {
+	Proxy         int // reply routing key (index into dispatch.replies)
+	Tenant, Class int
+	N             int64
+}
+
+type batchDone struct {
+	Proxy int
+	OK    bool
+}
+
+// nodeServer is the remote half of the protocol on one node: its compiled-
+// kernel cache is touched only by that node's processes.
+type nodeServer struct {
+	kernels map[string]*core.Kernel
+}
+
+// dispatch wires the frontend to the cluster's nodes. Node 0 reads
+// everything; remote nodes only ever touch their own nodeServer.
+type dispatch struct {
+	fe      *Frontend
+	cfg     Config
+	servers []*nodeServer             // index = node id (nil for node 0)
+	replies []*simnet.Chan[batchDone] // index = proxy id; node-0 state
+}
+
+func newDispatch(fe *Frontend, cfg Config, rt *satin.Runtime) *dispatch {
+	d := &dispatch{fe: fe, cfg: cfg, servers: make([]*nodeServer, rt.Nodes())}
+	for n := 1; n < rt.Nodes(); n++ {
+		d.servers[n] = &nodeServer{kernels: map[string]*core.Kernel{}}
+	}
+	return d
+}
+
+// newProxy registers a reply channel for one proxy dispatcher and returns its
+// id. Must be called before the simulation starts (node-0 state).
+func (d *dispatch) newProxy(k *simnet.Kernel) int {
+	d.replies = append(d.replies, simnet.NewChan[batchDone](k))
+	return len(d.replies) - 1
+}
+
+// handle is the satin message handler: it serves batch requests on remote
+// nodes and routes replies back to the waiting proxy on node 0.
+func (d *dispatch) handle(ctx *satin.Context, m network.Message) bool {
+	switch m.Kind {
+	case kindBatch:
+		bm := m.Payload.(batchMsg)
+		srv := d.servers[ctx.NodeID()]
+		ctx.Node().GoLocal(func(c *satin.Context) {
+			ok := srv.run(c, d.cfg, bm)
+			class := &d.cfg.Tenants[bm.Tenant].Mix[bm.Class]
+			c.Runtime().Fabric().Endpoint(c.NodeID()).
+				Send(c.Proc(), 0, kindDone, class.OutBytes*bm.N, batchDone{Proxy: bm.Proxy, OK: ok})
+		})
+		return true
+	case kindDone:
+		bd := m.Payload.(batchDone)
+		d.replies[bd.Proxy].Send(bd)
+		return true
+	}
+	return false
+}
+
+// run executes one coalesced batch on the server's node.
+func (s *nodeServer) run(ctx *satin.Context, cfg Config, bm batchMsg) bool {
+	class := &cfg.Tenants[bm.Tenant].Mix[bm.Class]
+	kern := s.kernels[class.Kernel]
+	if kern == nil {
+		var err error
+		kern, err = core.GetKernel(ctx, class.Kernel)
+		if err != nil {
+			return false
+		}
+		s.kernels[class.Kernel] = kern
+	}
+	params := class.Params
+	if bm.N > 1 {
+		scaled := make(map[string]int64, len(params))
+		for name, v := range params {
+			scaled[name] = v
+		}
+		scaled[class.BatchParam] *= bm.N
+		params = scaled
+	}
+	err := kern.NewLaunch(core.LaunchSpec{
+		Params:  params,
+		InBytes: class.InBytes * bm.N, OutBytes: class.OutBytes * bm.N,
+		Label: class.Name,
+	}).Run(ctx)
+	return err == nil
+}
+
+// proxyLoop is a node-0 dispatcher slot for a remote node: same WFQ pull as
+// dispatchLoop, but execution happens across the network.
+func (d *dispatch) proxyLoop(ctx *satin.Context, node, proxy int) {
+	f := d.fe
+	p := ctx.Proc()
+	k := p.Kernel()
+	ep := ctx.Runtime().Fabric().Endpoint(0)
+	reply := d.replies[proxy]
+	buf := make([]*Request, 0, f.cfg.MaxBatch)
+	for {
+		buf = f.NextBatch(p.Now(), buf[:0])
+		if len(buf) == 0 {
+			if f.Drained() {
+				f.checkDone(k)
+				return
+			}
+			f.work.Park(p)
+			continue
+		}
+		r0 := buf[0]
+		t := &f.tenants[r0.Tenant]
+		class := &t.spec.Mix[r0.Class]
+		n := int64(len(buf))
+		ep.Send(p, node, kindBatch, class.InBytes*n,
+			batchMsg{Proxy: proxy, Tenant: r0.Tenant, Class: r0.Class, N: n})
+		bd := reply.Recv(p)
+		now := p.Now()
+		if f.rec.Enabled() {
+			bsz := trace.Int64Attr("batch", n)
+			for _, r := range buf {
+				f.rec.Add(trace.Span{
+					Node: node, Queue: "serve", Kind: KindServe,
+					Label: t.spec.Name + "/" + class.Name,
+					Start: r.Arrive, End: now,
+					Attrs: []trace.Attr{bsz, trace.Int64Attr("wait_ns", int64(r.Issue-r.Arrive))},
+				})
+			}
+		}
+		for _, r := range buf {
+			f.Complete(now, r, bd.OK)
+		}
+		f.checkDone(k)
+	}
+}

@@ -37,10 +37,35 @@ func Run(cl *core.Cluster, cfg Config) (*Report, error) {
 	}
 
 	k := cl.Kernel()
+	rt := cl.Runtime()
 	fe := NewFrontend(k, cfg, cl.Recorder())
 
+	// Remote nodes execute batches via the serve_batch/serve_done protocol
+	// (see remote.go); the handler must be installed before the simulation
+	// starts so every partition's comm loop observes it.
+	disp := newDispatch(fe, cfg, rt)
+	if rt.Nodes() > 1 {
+		rt.SetMessageHandler(disp.handle)
+	}
+	slots := func(n int) int {
+		if cfg.DispatchersPerNode > 0 {
+			return cfg.DispatchersPerNode
+		}
+		if d := len(cl.NodeState(n).Devices); d > 0 {
+			return d
+		}
+		return 1
+	}
+	// Proxy reply channels are node-0 state; allocate them before Run.
+	type proxySlot struct{ node, proxy int }
+	var proxies []proxySlot
+	for n := 1; n < rt.Nodes(); n++ {
+		for i := 0; i < slots(n); i++ {
+			proxies = append(proxies, proxySlot{node: n, proxy: disp.newProxy(k)})
+		}
+	}
+
 	_, end, err := cl.Run(func(ctx *satin.Context) any {
-		rt := ctx.Runtime()
 		fe.gensLive = len(cfg.Tenants)
 		for ti := range cfg.Tenants {
 			ti := ti
@@ -48,19 +73,14 @@ func Run(cl *core.Cluster, cfg Config) (*Report, error) {
 				fe.generate(p, ti)
 			})
 		}
-		per := cfg.DispatchersPerNode
-		for n := 0; n < rt.Nodes(); n++ {
-			d := per
-			if d <= 0 {
-				d = len(cl.NodeState(n).Devices)
-				if d == 0 {
-					d = 1
-				}
-			}
-			for i := 0; i < d; i++ {
-				n := n
-				rt.GoOn(n, func(c *satin.Context) { fe.dispatchLoop(c) })
-			}
+		// Every dispatcher slot lives on node 0: local slots drive node 0's
+		// devices directly, proxy slots drive a remote node over the network.
+		for i := 0; i < slots(0); i++ {
+			rt.GoOn(0, func(c *satin.Context) { fe.dispatchLoop(c) })
+		}
+		for _, ps := range proxies {
+			ps := ps
+			rt.GoOn(0, func(c *satin.Context) { disp.proxyLoop(c, ps.node, ps.proxy) })
 		}
 		fe.done.Await(ctx.Proc())
 		return nil
@@ -132,9 +152,9 @@ func (f *Frontend) checkDone(k *simnet.Kernel) {
 	}
 }
 
-// dispatchLoop is one dispatcher thread pinned to a node: it pulls WFQ
-// batches from the frontend and drives them through the node's device
-// scheduler, parking when the frontend is empty.
+// dispatchLoop is one dispatcher thread on node 0: it pulls WFQ batches from
+// the frontend and drives them through node 0's device scheduler, parking
+// when the frontend is empty. Remote nodes are driven by proxyLoop instead.
 func (f *Frontend) dispatchLoop(ctx *satin.Context) {
 	p := ctx.Proc()
 	k := p.Kernel()
@@ -155,9 +175,8 @@ func (f *Frontend) dispatchLoop(ctx *satin.Context) {
 	}
 }
 
-// runBatch executes one coalesced batch as a single kernel launch on the
-// dispatcher's node, charging the network model for shipping inputs to a
-// non-master node and results back (the frontend lives on node 0).
+// runBatch executes one coalesced batch as a single kernel launch on node 0
+// (the dispatcher's node; remote execution goes through nodeServer.run).
 func (f *Frontend) runBatch(ctx *satin.Context, kernels map[string]*core.Kernel, batch []*Request) {
 	t := &f.tenants[batch[0].Tenant]
 	class := &t.spec.Mix[batch[0].Class]
@@ -188,19 +207,11 @@ func (f *Frontend) runBatch(ctx *satin.Context, kernels map[string]*core.Kernel,
 		params = scaled
 	}
 
-	fab := ctx.Runtime().Fabric()
-	remote := ctx.NodeID() != 0
-	if remote {
-		p.Hold(fab.TransferTime(class.InBytes * n))
-	}
 	err := kern.NewLaunch(core.LaunchSpec{
 		Params:  params,
 		InBytes: class.InBytes * n, OutBytes: class.OutBytes * n,
 		Label: class.Name,
 	}).Run(ctx)
-	if err == nil && remote {
-		p.Hold(fab.TransferTime(class.OutBytes * n))
-	}
 
 	now := p.Now()
 	if f.rec.Enabled() {

@@ -162,3 +162,35 @@ func TestWaitListReuse(t *testing.T) {
 		t.Fatalf("turn = %d", turn)
 	}
 }
+
+// TestRunLimitExactBoundary pins Run's inclusive cutoff: both a process wake
+// and a callback scheduled exactly at the limit fire during the limited run
+// (the boundary the partitioned scheduler's windows depend on), while
+// RunBefore with the same value excludes them.
+func TestRunLimitExactBoundary(t *testing.T) {
+	k := NewKernel(1)
+	var procAt, cbAt Time
+	k.Spawn("p", func(p *Proc) {
+		p.Hold(2 * time.Millisecond)
+		procAt = p.Now()
+	})
+	k.CallAfter(2*time.Millisecond, func() { cbAt = k.Now() })
+	if now := k.Run(Time(2 * time.Millisecond)); now != Time(2*time.Millisecond) {
+		t.Fatalf("Run returned %v, want 2ms", now)
+	}
+	if procAt != Time(2*time.Millisecond) || cbAt != Time(2*time.Millisecond) {
+		t.Fatalf("procAt=%v cbAt=%v, want both to fire exactly at the limit", procAt, cbAt)
+	}
+
+	k2 := NewKernel(1)
+	var fired bool
+	k2.CallAfter(2*time.Millisecond, func() { fired = true })
+	k2.RunBefore(Time(2 * time.Millisecond))
+	if fired {
+		t.Fatal("RunBefore fired an event exactly at its horizon (must be exclusive)")
+	}
+	k2.Run(0)
+	if !fired {
+		t.Fatal("event lost after RunBefore")
+	}
+}

@@ -1,20 +1,30 @@
 package simnet
 
 // eventHeap is a hand-rolled binary min-heap over events, ordered by
-// (time, sequence). container/heap would force every push and pop through
-// an interface{} conversion, allocating one box per scheduled event; on the
-// kernel's hot loop that boxing dominates, so the sift operations are
-// inlined here over the concrete slice. Ties break on the monotonically
-// increasing sequence number (which is unique), keeping the pop order — and
-// therefore every simulation trajectory — identical to the container/heap
-// implementation.
+// (time, creating stream, stream sequence). container/heap would force
+// every push and pop through an interface{} conversion, allocating one box
+// per scheduled event; on the kernel's hot loop that boxing dominates, so
+// the sift operations are inlined here over the concrete slice.
+//
+// The tie-break chain is independent of the partition layout: equal-time
+// events fire ordered by the simulated node (stream) whose execution
+// created them, then by that stream's monotonically increasing sequence
+// number. A stream's contexts run serially on the one kernel that owns its
+// node in every layout, so both stamp components are properties of the
+// trajectory, not of the partitioning — which is the whole determinism
+// argument of the partitioned scheduler. On a standalone kernel with only
+// the default stream the order degenerates to the legacy (t, seq) creation
+// order.
 type eventHeap []event
 
 func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
-	return h[i].seq < h[j].seq
+	if h[i].stream != h[j].stream {
+		return h[i].stream < h[j].stream
+	}
+	return h[i].sseq < h[j].sseq
 }
 
 // push adds an event and restores the heap invariant by sifting up.

@@ -15,7 +15,10 @@ func (h boxedHeap) Less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
-	return h[i].seq < h[j].seq
+	if h[i].stream != h[j].stream {
+		return h[i].stream < h[j].stream
+	}
+	return h[i].sseq < h[j].sseq
 }
 func (h boxedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *boxedHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
@@ -28,8 +31,9 @@ func (h *boxedHeap) Pop() interface{} {
 }
 
 // TestEventHeapMatchesContainerHeap drives both implementations with the
-// same interleaved pushes and pops (heavy on equal timestamps, so the
-// sequence tie-break is load-bearing) and requires identical pop order.
+// same interleaved pushes and pops (heavy on equal timestamps and shared
+// streams, so the (stream, sseq) tie-break chain is load-bearing) and
+// requires identical pop order.
 func TestEventHeapMatchesContainerHeap(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	var ours eventHeap
@@ -38,24 +42,24 @@ func TestEventHeapMatchesContainerHeap(t *testing.T) {
 	for round := 0; round < 10000; round++ {
 		if len(ref) == 0 || rng.Intn(3) != 0 {
 			seq++
-			e := event{t: Time(rng.Intn(50)), seq: seq}
+			e := event{t: Time(rng.Intn(50)), stream: int32(rng.Intn(4)), sseq: seq}
 			ours.push(e)
 			heap.Push(&ref, e)
 			continue
 		}
 		got := ours.pop()
 		want := heap.Pop(&ref).(event)
-		if got.t != want.t || got.seq != want.seq {
-			t.Fatalf("round %d: pop = {t:%v seq:%d}, container/heap = {t:%v seq:%d}",
-				round, got.t, got.seq, want.t, want.seq)
+		if got.t != want.t || got.stream != want.stream || got.sseq != want.sseq {
+			t.Fatalf("round %d: pop = {t:%v stream:%d seq:%d}, container/heap = {t:%v stream:%d seq:%d}",
+				round, got.t, got.stream, got.sseq, want.t, want.stream, want.sseq)
 		}
 	}
 	for len(ref) > 0 {
 		got := ours.pop()
 		want := heap.Pop(&ref).(event)
-		if got.t != want.t || got.seq != want.seq {
-			t.Fatalf("drain: pop = {t:%v seq:%d}, container/heap = {t:%v seq:%d}",
-				got.t, got.seq, want.t, want.seq)
+		if got.t != want.t || got.stream != want.stream || got.sseq != want.sseq {
+			t.Fatalf("drain: pop = {t:%v stream:%d seq:%d}, container/heap = {t:%v stream:%d seq:%d}",
+				got.t, got.stream, got.sseq, want.t, want.stream, want.sseq)
 		}
 	}
 	if len(ours) != 0 {
@@ -72,7 +76,7 @@ func BenchmarkEventHeap(b *testing.B) {
 	fill := func(push func(event)) {
 		rng := rand.New(rand.NewSource(1))
 		for i := 0; i < depth; i++ {
-			push(event{t: Time(rng.Intn(1 << 20)), seq: uint64(i)})
+			push(event{t: Time(rng.Intn(1 << 20)), sseq: uint64(i)})
 		}
 	}
 
@@ -85,7 +89,7 @@ func BenchmarkEventHeap(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			e := h.pop()
 			e.t = Time(rng.Intn(1 << 20))
-			e.seq = uint64(depth + i)
+			e.sseq = uint64(depth + i)
 			h.push(e)
 		}
 	})
@@ -99,7 +103,7 @@ func BenchmarkEventHeap(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			e := heap.Pop(&h).(event)
 			e.t = Time(rng.Intn(1 << 20))
-			e.seq = uint64(depth + i)
+			e.sseq = uint64(depth + i)
 			heap.Push(&h, e)
 		}
 	})

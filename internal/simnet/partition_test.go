@@ -1,0 +1,192 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ballNode is one simulated node of the partition workload below: a process
+// that consumes "balls" from a queue fed by cross-node deliveries, does some
+// deterministic virtual work per ball, and forwards each ball to the next
+// node until its hop budget runs out. All state is touched only by the
+// node's own contexts (its proc and the deliveries executing as its stream),
+// mirroring how the real layers shard per-node state.
+type ballNode struct {
+	id    int
+	k     *Kernel
+	ps    *Partitioned
+	peers []*ballNode
+
+	queue []int
+	wl    WaitList
+	rng   *rand.Rand
+	log   strings.Builder
+}
+
+const (
+	ballHops      = 12
+	ballsPerNode  = 4
+	ballLookahead = time.Millisecond
+)
+
+func (n *ballNode) recv(hop int) {
+	n.queue = append(n.queue, hop)
+	n.wl.WakeAll(n.k)
+}
+
+func (n *ballNode) loop(p *Proc) {
+	for {
+		for len(n.queue) == 0 {
+			n.wl.Park(p)
+		}
+		hop := n.queue[0]
+		n.queue = n.queue[1:]
+		fmt.Fprintf(&n.log, "%d@%v/%d\n", n.id, p.Now(), hop)
+		if hop >= ballHops {
+			continue
+		}
+		// Deterministic per-node work: equal durations across balls produce
+		// plenty of equal-timestamp events, which is exactly what stresses
+		// the (stream, sseq) tie-break.
+		p.Hold(Duration(100+n.rng.Intn(3)*50) * time.Microsecond)
+		dst := n.peers[(n.id+1+hop%3)%len(n.peers)]
+		t := p.Now().Add(ballLookahead)
+		n.ps.Post(n.k, dst.k, dst.id, t, func() { dst.recv(hop + 1) })
+	}
+}
+
+// runBallWorkload executes the workload on the given layout and returns the
+// concatenated per-node trajectory logs.
+func runBallWorkload(nodes, parts int, parallel bool) string {
+	ps := NewPartitioned(7, nodes, parts)
+	ps.SetParallel(parallel)
+	ps.SetLookahead(ballLookahead)
+	ns := make([]*ballNode, nodes)
+	for i := range ns {
+		ns[i] = &ballNode{
+			id: i, k: ps.KernelFor(i), ps: ps,
+			rng: rand.New(rand.NewSource(int64(100 + i))),
+		}
+	}
+	for _, n := range ns {
+		n.peers = ns
+		n := n
+		n.k.SpawnOn(n.id, fmt.Sprintf("ball.%d", n.id), n.loop)
+		for b := 0; b < ballsPerNode; b++ {
+			b := b
+			n.k.CallAt(Time(b), func() { n.recv(0) })
+		}
+	}
+	ps.Run(0)
+	var out strings.Builder
+	for _, n := range ns {
+		out.WriteString(n.log.String())
+	}
+	return out.String()
+}
+
+// TestPartitionedTrajectoryLayoutIndependent is the kernel-level determinism
+// contract of the partitioned scheduler: the same program produces a
+// byte-identical trajectory on one kernel, split across 2 or 4 partitions
+// running concurrently, and in sequential oracle mode. Under -race it doubles
+// as the concurrency test of the per-pair mailboxes (every partition posts
+// into other partitions' mailboxes from its own goroutine each window) and of
+// WaitList wakes driven by injected cross-partition deliveries.
+func TestPartitionedTrajectoryLayoutIndependent(t *testing.T) {
+	want := runBallWorkload(8, 1, false)
+	if want == "" {
+		t.Fatal("empty trajectory")
+	}
+	for _, tc := range []struct {
+		name     string
+		parts    int
+		parallel bool
+	}{
+		{"parallel-2", 2, true},
+		{"parallel-4", 4, true},
+		{"parallel-8", 8, true},
+		{"oracle-4", 4, false},
+	} {
+		if got := runBallWorkload(8, tc.parts, tc.parallel); got != want {
+			t.Errorf("%s trajectory diverged from single-kernel run:\n-- single --\n%s-- %s --\n%s",
+				tc.name, want, tc.name, got)
+		}
+	}
+}
+
+// TestPartitionedRunLimit: Partitioned.Run(limit) is inclusive like
+// Kernel.Run — events exactly at the limit fire, later ones stay queued, and
+// a later Run continues the same trajectory.
+func TestPartitionedRunLimit(t *testing.T) {
+	ps := NewPartitioned(1, 4, 4)
+	ps.SetLookahead(time.Millisecond)
+	var fired []Time
+	k0 := ps.KernelFor(0)
+	for _, d := range []Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond} {
+		d := d
+		k0.CallAt(Time(d), func() { fired = append(fired, k0.Now()) })
+	}
+	if now := ps.Run(Time(2 * time.Millisecond)); now != Time(2*time.Millisecond) {
+		t.Fatalf("Run returned %v, want 2ms", now)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want the 1ms and the exactly-at-limit 2ms callbacks", fired)
+	}
+	ps.Run(0)
+	if len(fired) != 3 || fired[2] != Time(3*time.Millisecond) {
+		t.Fatalf("fired %v after resume", fired)
+	}
+}
+
+// TestPostLookaheadViolationPanics: a cross-partition post closer than the
+// declared lookahead must panic loudly instead of corrupting the trajectory.
+func TestPostLookaheadViolationPanics(t *testing.T) {
+	ps := NewPartitioned(1, 2, 2)
+	ps.SetLookahead(time.Millisecond)
+	k0, k1 := ps.KernelFor(0), ps.KernelFor(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on lookahead violation")
+		}
+	}()
+	ps.Post(k0, k1, 1, k0.Now().Add(time.Microsecond), func() {})
+}
+
+// TestPartitionedStats: the synchronization counters account for windows,
+// rounds and cross-partition traffic.
+func TestPartitionedStats(t *testing.T) {
+	ps := NewPartitioned(7, 4, 4)
+	ps.SetLookahead(ballLookahead)
+	ns := make([]*ballNode, 4)
+	for i := range ns {
+		ns[i] = &ballNode{id: i, k: ps.KernelFor(i), ps: ps, rng: rand.New(rand.NewSource(int64(100 + i)))}
+	}
+	for _, n := range ns {
+		n.peers = ns
+		n := n
+		n.k.SpawnOn(n.id, fmt.Sprintf("ball.%d", n.id), n.loop)
+		n.k.CallAt(0, func() { n.recv(0) })
+	}
+	ps.Run(0)
+	st := ps.Stats()
+	if st.Partitions != 4 || st.Lookahead != ballLookahead {
+		t.Fatalf("stats header = %+v", st)
+	}
+	if st.Rounds <= 0 {
+		t.Fatal("no synchronization rounds counted")
+	}
+	var sent, recv int64
+	for _, p := range st.Parts {
+		sent += p.CrossSent
+		recv += p.CrossRecv
+		if p.Nodes != 1 {
+			t.Fatalf("partition stats = %+v, want 1 node each", p)
+		}
+	}
+	if sent == 0 || sent != recv {
+		t.Fatalf("cross-partition events sent %d, received %d; want equal and nonzero", sent, recv)
+	}
+}

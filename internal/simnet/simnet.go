@@ -8,9 +8,10 @@
 // one process runs at a time. The kernel hands a "token" to the process that
 // owns the earliest pending event; the process runs until it blocks on a
 // virtual-time primitive (Hold, Chan.Recv, Resource.Acquire, Future.Await)
-// and then passes the token on. Events with equal timestamps fire in creation
-// order (a monotonically increasing sequence number breaks ties), so a given
-// program and seed always produce the same trajectory.
+// and then passes the token on. Events with equal timestamps fire in a fixed
+// total order — by creating event stream, then by that stream's monotonically
+// increasing sequence number (see event) — so a given program and seed always
+// produce the same trajectory, on one kernel or split across partitions.
 //
 // Scheduling uses direct handoff: a parking process pops the next runnable
 // event itself and resumes its owner directly, so an event costs one
@@ -51,12 +52,27 @@ func (t Time) Add(d Duration) Time { return t + Time(d) }
 // themselves; callbacks run a short completion action — marking a device
 // command-queue operation done, starting the next one — without parking a
 // process for the operation's modeled duration.
+//
+// stream and sseq stamp the event's creation: the event stream (simulated
+// node) whose execution posted the event, and that stream's own sequence
+// number. They form the total order (t, stream, sseq) used by the heap,
+// which is what makes a partitioned run's trajectory independent of the
+// partition layout: a stream's activity executes serially on the one kernel
+// owning its node in every layout, so its counter assigns identical stamps
+// no matter how the nodes are partitioned. On a standalone kernel with a
+// single stream the order degenerates to the legacy (t, seq) creation
+// order. Callback events additionally carry the stream they execute under
+// (exec): a network delivery is created by the sender's stream but runs as
+// the destination node, so everything it posts counts on the destination's
+// counter — which lives on the destination's kernel in every layout.
 type event struct {
-	t     Time
-	seq   uint64
-	p     *Proc
-	epoch uint64 // park epoch the event is allowed to wake
-	fn    func() // callback; mutually exclusive with p
+	t      Time
+	sseq   uint64 // creating stream's sequence number
+	p      *Proc
+	epoch  uint64 // park epoch the event is allowed to wake
+	fn     func() // callback; mutually exclusive with p
+	stream int32  // creating stream (orders the event)
+	exec   int32  // stream a callback executes under
 }
 
 // Kernel is a discrete-event simulation kernel. The zero value is not usable;
@@ -68,15 +84,25 @@ type event struct {
 // goroutines, which is what the parallel experiment harness does.
 type Kernel struct {
 	now     Time
-	seq     uint64
 	pq      eventHeap
 	yield   chan struct{}
 	alive   int
 	running bool
 	limit   Time // Run's cutoff, 0 = none; read by dispatch during handoff
+	strict  bool // events exactly at limit do NOT fire (RunBefore windows)
 	handoff bool
 	rng     *rand.Rand
+	seed    int64
 	procSeq int
+	part    int32 // partition id (0 for a standalone kernel)
+
+	// curStream is the event stream (simulated node) of the currently
+	// executing context; streamSeq holds one creation counter per stream
+	// hosted on this kernel. Together they assign the (stream, sseq) stamps
+	// that make heap order independent of the partition layout. Stream 0 is
+	// the default for everything not bound to a node with SpawnOn.
+	curStream int32
+	streamSeq []uint64
 
 	// debugCounts, when non-nil, tallies posted events by process name.
 	// Kernel-owned (not a package global) so concurrent kernels never share
@@ -134,8 +160,14 @@ func NewKernel(seed int64) *Kernel {
 		yield:   make(chan struct{}),
 		handoff: true,
 		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
 	}
 }
+
+// Seed returns the seed the kernel was created with. Layers that shard their
+// randomness per simulated node derive their per-node streams from it, so
+// their trajectories do not depend on which partition a node landed on.
+func (k *Kernel) Seed() int64 { return k.seed }
 
 // Now reports the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
@@ -175,6 +207,7 @@ type Proc struct {
 	done   bool
 	epoch  uint64 // incremented on every wake; stale wake events are ignored
 	parked bool
+	stream int32 // event stream the process posts under (its node)
 
 	wokenAt Time // when the proc last received the token (for Tracer slices)
 }
@@ -191,16 +224,31 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // Now reports the current virtual time.
 func (p *Proc) Now() Time { return p.k.now }
 
-// post schedules a wake event for p at time t against the given park epoch.
+// stampOn draws the next creation-sequence number of the given stream.
+func (k *Kernel) stampOn(s int32) uint64 {
+	for int(s) >= len(k.streamSeq) {
+		k.streamSeq = append(k.streamSeq, 0)
+	}
+	k.streamSeq[s]++
+	return k.streamSeq[s]
+}
+
+// post schedules a wake event for p at time t against the given park epoch,
+// stamped with the executing context's stream.
 func (k *Kernel) post(t Time, p *Proc, epoch uint64) {
+	k.postOn(k.curStream, t, p, epoch)
+}
+
+// postOn is post with an explicit creating stream (used by SpawnOn, where
+// the creator is setup code rather than a node's own execution).
+func (k *Kernel) postOn(s int32, t Time, p *Proc, epoch uint64) {
 	if k.debugCounts != nil {
 		k.debugCounts[p.name]++
 	}
 	if t < k.now {
 		t = k.now
 	}
-	k.seq++
-	k.pq.push(event{t: t, seq: k.seq, p: p, epoch: epoch})
+	k.pq.push(event{t: t, stream: s, sseq: k.stampOn(s), p: p, epoch: epoch})
 	if n := len(k.pq); n > k.stats.MaxQueue {
 		k.stats.MaxQueue = n
 	}
@@ -216,14 +264,21 @@ func (k *Kernel) post(t Time, p *Proc, epoch uint64) {
 // (no Hold, Recv, Acquire, Await); they may post further events, wake
 // processes, call CallAt again, or Spawn.
 func (k *Kernel) CallAt(t Time, fn func()) {
+	k.callAtExec(t, fn, k.curStream)
+}
+
+// callAtExec is CallAt with an explicit execution stream: the callback is
+// stamped by the current (creating) stream but runs as exec, so everything
+// it posts counts on exec's creation counter. The partitioned scheduler
+// uses it to hand a message delivery to the destination node's stream.
+func (k *Kernel) callAtExec(t Time, fn func(), exec int32) {
 	if fn == nil {
 		panic("simnet: CallAt with nil callback")
 	}
 	if t < k.now {
 		t = k.now
 	}
-	k.seq++
-	k.pq.push(event{t: t, seq: k.seq, fn: fn})
+	k.pq.push(event{t: t, stream: k.curStream, sseq: k.stampOn(k.curStream), exec: exec, fn: fn})
 	if n := len(k.pq); n > k.stats.MaxQueue {
 		k.stats.MaxQueue = n
 	}
@@ -239,16 +294,31 @@ func (k *Kernel) CallAfter(d Duration, fn func()) {
 
 // Spawn creates a process executing fn and schedules it to start at the
 // current virtual time. It may be called before Run or from inside a running
-// process.
+// process. The process inherits the spawning context's event stream, so
+// activities spawned by a node's own execution stay on that node's stream.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
-	return k.SpawnAt(k.now, name, fn)
+	return k.spawnAt(k.now, k.curStream, name, fn)
 }
 
 // SpawnAt creates a process executing fn and schedules it to start at time t
 // (or now, if t is in the past).
 func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	return k.spawnAt(t, k.curStream, name, fn)
+}
+
+// SpawnOn creates a process bound to the event stream of simulated node
+// `stream`, starting at the current virtual time. Layers that shard their
+// processes per node (the Satin runtime's comm loops and workers) spawn
+// them with this so every event the process posts carries its node's
+// stream stamp — the property that makes trajectories independent of the
+// partition layout. The stream's node must be owned by this kernel.
+func (k *Kernel) SpawnOn(stream int, name string, fn func(p *Proc)) *Proc {
+	return k.spawnAt(k.now, int32(stream), name, fn)
+}
+
+func (k *Kernel) spawnAt(t Time, stream int32, name string, fn func(p *Proc)) *Proc {
 	k.procSeq++
-	p := &Proc{k: k, name: name, id: k.procSeq, resume: make(chan struct{})}
+	p := &Proc{k: k, name: name, id: k.procSeq, resume: make(chan struct{}), stream: stream}
 	k.alive++
 	k.stats.Spawns++
 	p.parked = true // the initial start event wakes it
@@ -266,7 +336,7 @@ func (k *Kernel) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 			k.yield <- struct{}{}
 		}
 	}()
-	k.post(t, p, p.epoch)
+	k.postOn(stream, t, p, p.epoch)
 	return p
 }
 
@@ -300,7 +370,7 @@ func (p *Proc) park() {
 func (k *Kernel) dispatch(self *Proc) bool {
 	for len(k.pq) > 0 {
 		e := k.pq[0]
-		if k.limit > 0 && e.t > k.limit {
+		if k.limit > 0 && (e.t > k.limit || (k.strict && e.t >= k.limit)) {
 			break
 		}
 		k.pq.pop()
@@ -308,6 +378,7 @@ func (k *Kernel) dispatch(self *Proc) bool {
 			// Callback event: run it inline on the token-holding goroutine
 			// and keep dispatching. Never a goroutine switch.
 			k.now = e.t
+			k.curStream = e.exec
 			k.stats.Events++
 			k.stats.Callbacks++
 			if k.tracer != nil {
@@ -321,6 +392,7 @@ func (k *Kernel) dispatch(self *Proc) bool {
 			continue // stale wake
 		}
 		k.now = e.t
+		k.curStream = e.p.stream
 		k.stats.Events++
 		if k.tracer != nil {
 			k.tracer.QueueDepth(e.t, len(k.pq))
@@ -370,28 +442,83 @@ func (p *Proc) Yield() { p.Hold(0) }
 
 // Run executes the simulation until no events remain or until limit is
 // reached (limit <= 0 means no limit). It returns the final virtual time.
-// An event scheduled exactly at the limit still fires; a later Run call
-// (with a larger limit, or none) continues the same trajectory where the
-// previous one stopped. Processes still blocked on channels or resources
-// when the event queue drains are left parked; Stats can be used to detect
-// unexpected deadlock.
+// An event scheduled exactly at the limit still fires — the cutoff is
+// inclusive, for process wakes and CallAt callbacks alike (a regression
+// test pins this boundary) — and a later Run call (with a larger limit, or
+// none) continues the same trajectory where the previous one stopped.
+// Processes still blocked on channels or resources when the event queue
+// drains are left parked; Stats can be used to detect unexpected deadlock.
 func (k *Kernel) Run(limit Time) Time {
+	k.runUntil(limit, false)
+	if limit > 0 && k.now < limit && len(k.pq) > 0 {
+		// Stopped on a queued out-of-window event: report (and resume from)
+		// the limit itself, as Run always has.
+		k.now = limit
+	}
+	return k.now
+}
+
+// RunBefore executes all events with timestamp strictly below horizon and
+// returns the current virtual time. Unlike Run, the cutoff is exclusive and
+// the clock is left at the last executed event, not advanced to the horizon.
+// It is the window-execution primitive of the partitioned scheduler: a
+// partition granted horizon H by the lookahead computation may run exactly
+// the events with t < H.
+func (k *Kernel) RunBefore(horizon Time) Time {
+	if horizon <= 0 {
+		panic("simnet: RunBefore needs a positive horizon")
+	}
+	k.runUntil(horizon, true)
+	return k.now
+}
+
+// NextEventTime reports the timestamp of the earliest pending event. ok is
+// false when the queue is empty. Stale wake events are included — their
+// timestamp is never later than the wake that superseded them, so the bound
+// stays conservative for lookahead computations.
+func (k *Kernel) NextEventTime() (Time, bool) {
+	if len(k.pq) == 0 {
+		return 0, false
+	}
+	return k.pq[0].t, true
+}
+
+// inject pushes an event created by another partition, preserving its
+// foreign (stream, sseq) stamps and destination execution stream. Only the
+// partitioned coordinator calls it, between windows, while the kernel is
+// quiescent.
+func (k *Kernel) inject(t Time, stream int32, sseq uint64, exec int32, fn func()) {
+	if t < k.now {
+		// A lookahead violation would have to regress the clock; refuse
+		// loudly rather than corrupt the trajectory.
+		panic("simnet: cross-partition event before local time (lookahead violation)")
+	}
+	k.pq.push(event{t: t, stream: stream, sseq: sseq, exec: exec, fn: fn})
+	if n := len(k.pq); n > k.stats.MaxQueue {
+		k.stats.MaxQueue = n
+	}
+}
+
+// runUntil is the shared event loop behind Run (inclusive limit) and
+// RunBefore (exclusive horizon).
+func (k *Kernel) runUntil(limit Time, strict bool) {
 	if k.running {
 		panic("simnet: Run called reentrantly")
 	}
 	k.running = true
 	k.limit = limit
-	defer func() { k.running = false }()
+	k.strict = strict
+	defer func() { k.running = false; k.strict = false }()
 	for len(k.pq) > 0 {
 		e := k.pq[0]
-		if limit > 0 && e.t > limit {
-			// Leave the event queued so a later Run can continue.
-			k.now = limit
-			return k.now
+		if limit > 0 && (e.t > limit || (strict && e.t >= limit)) {
+			// Leave the event queued so a later run can continue.
+			return
 		}
 		k.pq.pop()
 		if e.fn != nil {
 			k.now = e.t
+			k.curStream = e.exec
 			k.stats.Events++
 			k.stats.Callbacks++
 			if k.tracer != nil {
@@ -405,6 +532,7 @@ func (k *Kernel) Run(limit Time) Time {
 			continue // stale wake
 		}
 		k.now = e.t
+		k.curStream = e.p.stream
 		k.stats.Events++
 		k.stats.Switches++
 		if k.tracer != nil {
@@ -420,7 +548,6 @@ func (k *Kernel) Run(limit Time) Time {
 		// scheduler every park returns it.
 		<-k.yield
 	}
-	return k.now
 }
 
 // Blocked reports the number of live processes that are parked with no
