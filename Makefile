@@ -32,9 +32,10 @@ test:
 # race covers the packages with real concurrency: the closure engine's
 # parallel foreach worker pool, the simulation kernel's process switching,
 # the pooled messaging layers built on it, the parallel experiment harness,
-# and the per-sim trace recorders it writes.
+# the per-sim trace recorders it writes, and the device runtime with its
+# graph machinery (concurrent DAG submissions share plans and workspaces).
 race:
-	$(GO) test -race ./internal/mcl/... ./internal/simnet/... ./internal/network/... ./internal/satin/... ./internal/bench/... ./internal/trace/...
+	$(GO) test -race ./internal/mcl/... ./internal/simnet/... ./internal/network/... ./internal/satin/... ./internal/bench/... ./internal/trace/... ./internal/core/...
 
 # cover writes cover.out and fails if total statement coverage drops below
 # COVER_FLOOR.
@@ -67,15 +68,16 @@ bench-serve:
 
 # bench-allocs enforces the pinned zero-allocation contracts: the simnet
 # event loop, the pooled network message path, disabled tracing, the
-# device-runtime enqueue path (BenchmarkLaunchPath) and the serving
-# admission fast path (BenchmarkServeAdmitPath) must all report
-# 0 allocs/op. CI fails if any of them regresses above zero.
+# device-runtime enqueue path (BenchmarkLaunchPath), the dataflow-graph
+# submit path (BenchmarkGraphSubmitPath) and the serving admission fast
+# path (BenchmarkServeAdmitPath) must all report 0 allocs/op. CI fails if
+# any of them regresses above zero.
 bench-allocs:
 	@$(GO) test -run xxx -benchmem -benchtime 2000x \
-		-bench 'BenchmarkSimnetEventLoop|BenchmarkNetworkMessageRate|BenchmarkTraceOverhead|BenchmarkLaunchPath|BenchmarkServeAdmitPath' \
-		./internal/simnet/ ./internal/network/ ./internal/trace/ ./internal/ocl/ ./internal/serve/ | tee bench-allocs.out
+		-bench 'BenchmarkSimnetEventLoop|BenchmarkNetworkMessageRate|BenchmarkTraceOverhead|BenchmarkLaunchPath|BenchmarkGraphSubmitPath|BenchmarkServeAdmitPath' \
+		./internal/simnet/ ./internal/network/ ./internal/trace/ ./internal/ocl/ ./internal/core/ ./internal/serve/ | tee bench-allocs.out
 	@bad=$$(awk '/allocs\/op/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
-		if (name ~ /^(BenchmarkSimnetEventLoop\/hold|BenchmarkSimnetEventLoop\/pingpong|BenchmarkNetworkMessageRate\/bulk|BenchmarkNetworkMessageRate\/ctl|BenchmarkTraceOverhead\/off|BenchmarkTraceOverhead\/off\/span-only|BenchmarkTraceOverheadDevice\/off|BenchmarkLaunchPath|BenchmarkServeAdmitPath)$$/ \
+		if (name ~ /^(BenchmarkSimnetEventLoop\/hold|BenchmarkSimnetEventLoop\/pingpong|BenchmarkNetworkMessageRate\/bulk|BenchmarkNetworkMessageRate\/ctl|BenchmarkTraceOverhead\/off|BenchmarkTraceOverhead\/off\/span-only|BenchmarkTraceOverheadDevice\/off|BenchmarkLaunchPath|BenchmarkGraphSubmitPath|BenchmarkServeAdmitPath)$$/ \
 		&& $$(NF-1)+0 > 0) print name, $$(NF-1), "allocs/op" }' bench-allocs.out); \
 	if [ -n "$$bad" ]; then echo "zero-alloc benchmarks regressed:"; echo "$$bad"; exit 1; fi; \
 	echo "all pinned benchmarks at 0 allocs/op"

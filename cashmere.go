@@ -79,6 +79,33 @@ type (
 	FeedbackMessage = feedback.Message
 )
 
+// Dataflow graphs: compound multi-kernel computations scheduled as one DAG
+// across every device of a node — intermediates chain device-resident,
+// data-parallel stages split across heterogeneous devices by the roofline
+// cost model, oversized stages stream out-of-core. See DESIGN.md, "Dataflow
+// graphs", and examples/graph.
+type (
+	// GraphSpec is the device-independent template: buffers are edges,
+	// stages are kernel nodes.
+	GraphSpec = core.GraphSpec
+	// GraphBuffer is one typed edge (input, intermediate or output).
+	GraphBuffer = core.GraphBuffer
+	// StageSpec describes one stage: a kernel launch over graph buffers.
+	StageSpec = core.StageSpec
+	// Graph is a GraphSpec instantiated on one node, ready to Run.
+	Graph = core.Graph
+)
+
+// NewGraphSpec starts a dataflow-graph template.
+func NewGraphSpec(name string) *GraphSpec { return core.NewGraphSpec(name) }
+
+// GetGraph instantiates (or fetches the node-cached instance of) a graph
+// spec from inside a leaf computation.
+func GetGraph(ctx *Context, spec *GraphSpec) (*Graph, error) { return core.GetGraph(ctx, spec) }
+
+// RunGraph instantiates (cached) and runs a graph spec in one call.
+func RunGraph(ctx *Context, spec *GraphSpec) error { return core.RunGraph(ctx, spec) }
+
 // Online serving layer (internal/serve): run the cluster as a multi-tenant
 // service with admission control, weighted-fair queueing, small-job batching
 // and SLO-tracked latency. See cmd/cashmere-serve and examples/serving.

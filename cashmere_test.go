@@ -101,3 +101,55 @@ func TestParseMCPL(t *testing.T) {
 		t.Fatal("type error not caught")
 	}
 }
+
+func TestPublicGraphAPI(t *testing.T) {
+	ks, err := cashmere.NewKernelSet("scale", scaleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cashmere.DefaultConfig(1, "k20")
+	cfg.Verify = true
+	cl, err := cashmere.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Register(ks); err != nil {
+		t.Fatal(err)
+	}
+	a := cashmere.NewFloatArray(64)
+	for i := range a.F {
+		a.F[i] = float64(i)
+	}
+	gs := cashmere.NewGraphSpec("facade")
+	in := gs.Input("in", 256)
+	mid := gs.Intermediate("mid", 256)
+	out := gs.Output("out", 256)
+	p := map[string]int64{"n": 64}
+	args := []any{int64(64), a}
+	gs.Stage(cashmere.StageSpec{Kernel: "scale", Params: p,
+		Reads: []*cashmere.GraphBuffer{in}, Writes: []*cashmere.GraphBuffer{mid}, Args: args})
+	gs.Stage(cashmere.StageSpec{Kernel: "scale", Params: p,
+		Reads: []*cashmere.GraphBuffer{mid}, Writes: []*cashmere.GraphBuffer{out}, Args: args})
+	_, _, err = cl.Run(func(ctx *cashmere.Context) any {
+		g, err := cashmere.GetGraph(ctx, gs)
+		if err != nil {
+			return err
+		}
+		return g.Run(ctx)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.F {
+		if a.F[i] != float64(i)*9 { // two chained x3 scales, run for real
+			t.Fatalf("a[%d] = %v, want %v", i, a.F[i], float64(i)*9)
+		}
+	}
+	m := cl.CollectMetrics()
+	if m.Int("graph.runs") != 1 || m.Int("graph.stages") != 2 {
+		t.Errorf("graph metrics: runs=%d stages=%d, want 1/2", m.Int("graph.runs"), m.Int("graph.stages"))
+	}
+	if m.Int("graph.resident_hits") != 1 {
+		t.Errorf("graph.resident_hits = %d, want 1 (the chained intermediate)", m.Int("graph.resident_hits"))
+	}
+}

@@ -25,6 +25,9 @@ type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Extra holds custom b.ReportMetric units (e.g. the trajectory-determined
+	// virtual_ns/op and moved_bytes/op of the graph-vs-naive comparison).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 type report struct {
@@ -60,6 +63,7 @@ func main() {
 		{"./internal/network/", "BenchmarkNetworkMessageRate", "1s"},
 		{"./internal/trace/", "BenchmarkTraceOverhead", "1s"},
 		{"./internal/ocl/", "BenchmarkLaunchPath", "1s"},
+		{"./internal/core/", "BenchmarkGraphVsNaive", "1x"},
 		{"./internal/bench/", "BenchmarkFig7Harness", "1x"},
 	}
 	for _, r := range runs {
@@ -85,6 +89,8 @@ func main() {
 			"message rate (pooled couriers, zero allocations), the tracing overhead with " +
 			"the recorder off (must stay 0 allocs/op) and on, the device command-queue " +
 			"launch path (enqueue write/launch/read with events, 0 allocs/op tracing off), " +
+			"the dataflow-graph pipeline versus the equivalent naive per-kernel launch " +
+			"sequence (virtual makespan and PCIe bytes in the extra metrics), " +
 			"and the Fig. 7 harness wall-clock at harness parallelism 1 and 4 plus the " +
 			"intra-simulation partitioned scheduler at 4 partitions. " +
 			"Regenerate with: make bench-sim",
@@ -100,6 +106,7 @@ func main() {
 			"BenchmarkFig7Harness/partitions4 runs the same study sequentially across points with each simulation split over 4 conservative partitions (-partitions 4); trajectories are byte-identical to the sequential scheduler",
 			"BenchmarkTraceOverhead/off is the per-call-site cost of disabled tracing (nil recorder); /on is the enabled recording cost paid only under -trace",
 			"BenchmarkLaunchPath is one write->launch->read chain through the asynchronous command queues including the blocking wait; make bench-allocs pins its 0 allocs/op",
+			"BenchmarkGraphVsNaive runs 10 iterations of a three-stage chain as one dataflow graph vs naive per-kernel launches; its virtual_ns/op and moved_bytes/op extras are trajectory-determined (identical on any host) and the graph_vs_naive_virtual speedup compares them",
 		},
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -202,6 +209,12 @@ func parseBench(out string) ([]benchResult, error) {
 				r.BytesPerOp = v
 			case "allocs/op":
 				r.AllocsPerOp = v
+			default:
+				// Custom b.ReportMetric units (virtual_ns/op, moved_bytes/op).
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[fields[i+1]] = v
 			}
 		}
 		results = append(results, r)
@@ -240,6 +253,17 @@ func speedups(results []benchResult) map[string]string {
 	}
 	if p1, d4 := cur["BenchmarkFig7Harness/parallel1"], cur["BenchmarkFig7Harness/partitions4"]; p1 > 0 && d4 > 0 {
 		out["fig7_partitions4_vs_parallel1"] = fmt.Sprintf("%.2fx", p1/d4)
+	}
+	// The graph-vs-naive virtual-time ratio lives in the Extra metrics, not
+	// ns/op: it compares simulated makespans, which are host-independent.
+	virt := map[string]float64{}
+	for _, r := range results {
+		if v, ok := r.Extra["virtual_ns/op"]; ok {
+			virt[r.Name] = v
+		}
+	}
+	if g, n := virt["BenchmarkGraphVsNaive/graph"], virt["BenchmarkGraphVsNaive/naive"]; g > 0 && n > 0 {
+		out["graph_vs_naive_virtual"] = fmt.Sprintf("%.2fx", n/g)
 	}
 	return out
 }

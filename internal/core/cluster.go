@@ -107,6 +107,14 @@ type NodeState struct {
 	costCache            map[costKey][]costEntry // memoized MCL cost evaluations
 	costHits, costMisses int64
 
+	graphs map[*GraphSpec]*Graph // instantiated dataflow graphs, one per spec
+	// Graph counters (summed into CollectMetrics as graph.*): runs, stage
+	// executions, input edges satisfied without a transfer, and PCIe bytes
+	// not moved relative to the naive per-kernel launch sequence.
+	graphRuns, graphStages int64
+	graphResidentHits      int64
+	graphBytesSaved        int64
+
 	// flopsCharged and cpuFallbacks live per node (not on Cluster) so launch
 	// code on different partitions never shares a counter; the Cluster methods
 	// sum them after the run.
@@ -167,6 +175,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			residentVer: map[residentKey]int{},
 			residentEv:  map[residentKey]ocl.Event{},
 			costCache:   map[costKey][]costEntry{},
+			graphs:      map[*GraphSpec]*Graph{},
 		}
 		state.Sched = newScheduler(state)
 		cl.nodes = append(cl.nodes, state)

@@ -19,7 +19,7 @@ perfect void scale(int n, float[n] a) {
 }
 `
 
-func mustKS(t *testing.T, name string, sources ...string) *codegen.KernelSet {
+func mustKS(t testing.TB, name string, sources ...string) *codegen.KernelSet {
 	t.Helper()
 	ks, err := codegen.NewKernelSet(name, sources...)
 	if err != nil {

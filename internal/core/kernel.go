@@ -244,16 +244,27 @@ func inCorePasses(total int64) int {
 }
 
 // streamPasses drives one launch as `passes` write->launch->read slices over
-// the device's in-order queues — the Sec. III-B pipeline. The write of pass
-// i+1 rides the H2D queue behind the write of pass i and therefore overlaps
-// kernel i; each kernel depends on its own write, each read on its kernel.
-// With chunked staging (out-of-core: only two chunks of device memory), the
-// write of pass i additionally waits for the read of pass i-2 — the previous
-// tenant of its staging chunk. Remainder bytes fold into the last pass so
-// modeled PCIe traffic is byte-exact. No process is spawned: the calling
-// proc enqueues everything and waits once on the final event. Returns the
-// summed modeled kernel time.
+// the device's in-order queues, blocking the calling proc until the final
+// event. Returns the summed modeled kernel time.
 func (l *Launch) streamPasses(p *simnet.Proc, dev *ocl.Device, cost device.KernelCost, inTotal, outTotal int64, passes int, hdep ocl.Event, chunked, tracing bool) simnet.Duration {
+	last, measured := enqueueStream(dev, l.spec.Label, cost, inTotal, outTotal, passes, chunked, tracing, hdep)
+	last.Wait(p)
+	return measured
+}
+
+// enqueueStream enqueues one logical launch as `passes` write->launch->read
+// slices over the device's in-order queues — the Sec. III-B pipeline. The
+// write of pass i+1 rides the H2D queue behind the write of pass i and
+// therefore overlaps kernel i; each kernel depends on its own write, each
+// read on its kernel. With chunked staging (out-of-core: only two chunks of
+// device memory), the write of pass i additionally waits for the read of
+// pass i-2 — the previous tenant of its staging chunk. Remainder bytes fold
+// into the last pass so modeled PCIe traffic is byte-exact. Every write and
+// kernel additionally waits on hdeps (upstream producers). No process is
+// spawned and nothing waits: the caller holds the last event, so graph
+// stages can chain more work behind the pipeline. Returns that event and
+// the summed modeled kernel time.
+func enqueueStream(dev *ocl.Device, label string, cost device.KernelCost, inTotal, outTotal int64, passes int, chunked, tracing bool, hdeps ...ocl.Event) (ocl.Event, simnet.Duration) {
 	passCost := cost
 	passCost.Flops /= float64(passes)
 	passCost.MemBytes /= float64(passes)
@@ -262,6 +273,7 @@ func (l *Launch) streamPasses(p *simnet.Proc, dev *ocl.Device, cost device.Kerne
 	kt := dev.Spec().KernelTime(passCost)
 
 	var reads [2]ocl.Event // ring of staging-chunk tenants (chunked only)
+	var depbuf [1 + ocl.MaxDeps]ocl.Event
 	var measured simnet.Duration
 	var last ocl.Event
 	for i := 0; i < passes; i++ {
@@ -276,31 +288,38 @@ func (l *Launch) streamPasses(p *simnet.Proc, dev *ocl.Device, cost device.Kerne
 		}
 		w := stage
 		if in > 0 {
-			var label string
+			var wlabel string
 			if tracing {
-				label = fmt.Sprintf("%s:in.%d", l.spec.Label, i)
+				wlabel = fmt.Sprintf("%s:in.%d", label, i)
 			}
-			w = dev.EnqueueWrite(in, label, stage, hdep)
+			nd := 0
+			depbuf[nd] = stage
+			nd++
+			nd += copy(depbuf[nd:], hdeps)
+			w = dev.EnqueueWrite(in, wlabel, depbuf[:nd]...)
 		}
 		var klabel string
 		if tracing {
-			klabel = fmt.Sprintf("%s.%d", l.spec.Label, i)
+			klabel = fmt.Sprintf("%s.%d", label, i)
 		}
-		kev := dev.EnqueueLaunch(passCost, klabel, w, hdep)
+		nd := 0
+		depbuf[nd] = w
+		nd++
+		nd += copy(depbuf[nd:], hdeps)
+		kev := dev.EnqueueLaunch(passCost, klabel, depbuf[:nd]...)
 		measured += kt
 		r := kev
 		if out > 0 {
-			var label string
+			var rlabel string
 			if tracing {
-				label = fmt.Sprintf("%s:out.%d", l.spec.Label, i)
+				rlabel = fmt.Sprintf("%s:out.%d", label, i)
 			}
-			r = dev.EnqueueRead(out, label, kev)
+			r = dev.EnqueueRead(out, rlabel, kev)
 		}
 		reads[i%2] = r
 		last = r
 	}
-	last.Wait(p)
-	return measured
+	return last, measured
 }
 
 // runOutOfCore streams a launch whose data exceeds device memory through two

@@ -59,6 +59,7 @@ func (cl *Cluster) CollectMetrics() *trace.Metrics {
 
 	var launches, bytesMoved int64
 	var costHits, costMisses int64
+	var graphRuns, graphStages, graphHits, graphSaved int64
 	var kernelBusy, xferBusy, overlap simnet.Duration
 	for _, ns := range cl.nodes {
 		for _, d := range ns.Devices {
@@ -70,12 +71,20 @@ func (cl *Cluster) CollectMetrics() *trace.Metrics {
 		}
 		costHits += ns.costHits
 		costMisses += ns.costMisses
+		graphRuns += ns.graphRuns
+		graphStages += ns.graphStages
+		graphHits += ns.graphResidentHits
+		graphSaved += ns.graphBytesSaved
 	}
 	m.SetInt("mcl.launches", launches)
 	m.SetInt("mcl.bytes_moved", bytesMoved)
 	m.SetInt("mcl.kernel_busy_ns", int64(kernelBusy))
 	m.SetInt("mcl.xfer_busy_ns", int64(xferBusy))
 	m.SetInt("mcl.overlap_lower_bound_ns", int64(overlap))
+	m.SetInt("graph.runs", graphRuns)
+	m.SetInt("graph.stages", graphStages)
+	m.SetInt("graph.resident_hits", graphHits)
+	m.SetInt("graph.bytes_moved_saved", graphSaved)
 	m.SetInt("core.cpu_fallbacks", cl.CPUFallbacks())
 	m.SetInt("core.cost_cache_hits", costHits)
 	m.SetInt("core.cost_cache_misses", costMisses)

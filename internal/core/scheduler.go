@@ -90,6 +90,36 @@ func (s *Scheduler) Done(kernel string, dev int, est, measured simnet.Duration) 
 	hist[dev] = measured
 }
 
+// Book adds t of estimated work to device d's queue backlog without tying it
+// to a kernel: graph runs book their per-device planned compute so plain
+// launches scheduled concurrently see the load. Pair with Release.
+func (s *Scheduler) Book(d int, t simnet.Duration) {
+	s.pending[d] += t
+}
+
+// Release removes a Book-ed estimate from device d's backlog.
+func (s *Scheduler) Release(d int, t simnet.Duration) {
+	s.pending[d] -= t
+	if s.pending[d] < 0 {
+		s.pending[d] = 0
+	}
+}
+
+// Record stores a measured (or modeled) kernel time for future Estimate
+// calls without touching the backlog. Unlike Done with measured == 0, it
+// never erases history.
+func (s *Scheduler) Record(kernel string, dev int, measured simnet.Duration) {
+	if measured <= 0 {
+		return
+	}
+	hist := s.history[kernel]
+	if hist == nil {
+		hist = make([]simnet.Duration, len(s.ns.Devices))
+		s.history[kernel] = hist
+	}
+	hist[dev] = measured
+}
+
 // Measured returns the last measured time for the kernel on device d
 // (0 if none).
 func (s *Scheduler) Measured(kernel string, d int) simnet.Duration {

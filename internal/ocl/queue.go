@@ -6,11 +6,18 @@ import (
 )
 
 // maxDeps bounds the number of incomplete dependencies one enqueued
-// operation may carry. Four covers every chain the runtime builds (the
+// operation may carry. Eight covers every chain the runtime builds: the
 // double-buffered pipeline needs at most two plus the in-order implicit
-// ordering); the bound lets dependencies live in a fixed array inside the
-// pooled op, keeping the enqueue path allocation-free.
-const maxDeps = 4
+// ordering, and a graph-stage kernel carries one event per input edge
+// (capped by the graph planner). The bound lets dependencies live in a
+// fixed array inside the pooled op, keeping the enqueue path
+// allocation-free.
+const maxDeps = 8
+
+// MaxDeps is the exported dependency bound, for callers that assemble
+// dependency arrays of their own (the core graph planner validates against
+// it).
+const MaxDeps = maxDeps
 
 // op is one operation sitting in (or recently retired from) an in-order
 // queue. Ops are pooled per queue and recycled as soon as they complete; the

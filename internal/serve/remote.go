@@ -100,6 +100,11 @@ func (d *dispatch) handle(ctx *satin.Context, m network.Message) bool {
 // run executes one coalesced batch on the server's node.
 func (s *nodeServer) run(ctx *satin.Context, cfg Config, bm batchMsg) bool {
 	class := &cfg.Tenants[bm.Tenant].Mix[bm.Class]
+	if class.Graph != nil {
+		// One request = one full-DAG run; the node caches the instantiated
+		// graph (and its workspace) across requests via GetGraph.
+		return core.RunGraph(ctx, class.Graph) == nil
+	}
 	kern := s.kernels[class.Kernel]
 	if kern == nil {
 		var err error

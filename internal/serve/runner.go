@@ -34,6 +34,11 @@ func Run(cl *core.Cluster, cfg Config) (*Report, error) {
 		if len(t.Mix) == 0 {
 			return nil, fmt.Errorf("serve: tenant %q has an empty job mix", t.Name)
 		}
+		for _, c := range t.Mix {
+			if c.Graph != nil && c.BatchParam != "" {
+				return nil, fmt.Errorf("serve: tenant %q class %q: graph classes cannot batch", t.Name, c.Name)
+			}
+		}
 	}
 
 	k := cl.Kernel()
@@ -181,6 +186,27 @@ func (f *Frontend) runBatch(ctx *satin.Context, kernels map[string]*core.Kernel,
 	t := &f.tenants[batch[0].Tenant]
 	class := &t.spec.Mix[batch[0].Class]
 	p := ctx.Proc()
+
+	if class.Graph != nil {
+		// Graph classes never batch (validated in Run): one request, one
+		// full-DAG run through the node's graph scheduler.
+		err := core.RunGraph(ctx, class.Graph)
+		now := p.Now()
+		if f.rec.Enabled() {
+			for _, r := range batch {
+				f.rec.Add(trace.Span{
+					Node: ctx.NodeID(), Queue: "serve", Kind: KindServe,
+					Label: t.spec.Name + "/" + class.Name,
+					Start: r.Arrive, End: now,
+					Attrs: []trace.Attr{trace.Int64Attr("wait_ns", int64(r.Issue-r.Arrive))},
+				})
+			}
+		}
+		for _, r := range batch {
+			f.Complete(now, r, err == nil)
+		}
+		return
+	}
 
 	kern := kernels[class.Kernel]
 	if kern == nil {
