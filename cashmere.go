@@ -29,6 +29,7 @@ package cashmere
 
 import (
 	"sort"
+	"time"
 
 	"cashmere/internal/core"
 	"cashmere/internal/device"
@@ -124,8 +125,21 @@ type (
 	// JobClass is one kind of request a tenant issues.
 	JobClass = serve.JobClass
 	// ArrivalSpec configures a tenant's arrival process (Poisson, bursty
-	// MMPP or diurnal).
+	// MMPP, diurnal or trace replay).
 	ArrivalSpec = serve.ArrivalSpec
+	// AutoscaleConfig tunes the elastic autoscaler: queue-depth and
+	// windowed-p99 signals with hysteresis, scale-in by drain-with-migration.
+	AutoscaleConfig = serve.AutoscaleConfig
+	// ChaosConfig tunes the deterministic fault-injection harness: network
+	// partitions, device stragglers and correlated crashes.
+	ChaosConfig = serve.ChaosConfig
+	// ChaosEvent is one scheduled fault of an explicit chaos script.
+	ChaosEvent = serve.ChaosEvent
+	// TraceEvent is one arrival of a replay schedule.
+	TraceEvent = serve.TraceEvent
+	// ElasticReport is the capacity slice of a serving report (node-seconds
+	// billed, scale events, migrations) when the autoscaler or chaos ran.
+	ElasticReport = serve.ElasticReport
 )
 
 // StandardServeWorkload returns the default three-tenant serving population
@@ -141,6 +155,18 @@ func DefaultServeConfig(w *ServeWorkload) ServeConfig { return serve.DefaultConf
 // Serve runs one serving experiment on the cluster. The workload's kernel
 // sets must already be registered.
 func Serve(cl *Cluster, cfg ServeConfig) (*ServeReport, error) { return serve.Run(cl, cfg) }
+
+// DefaultAutoscale returns the default elastic-autoscaler tuning.
+func DefaultAutoscale() *AutoscaleConfig { return serve.DefaultAutoscale() }
+
+// DefaultChaos returns the default chaos-harness tuning for a seed.
+func DefaultChaos(seed int64) *ChaosConfig { return serve.DefaultChaos(seed) }
+
+// SynthesizeTrace draws a deterministic Poisson replay schedule per tenant
+// from a private RNG (the "-replay synth" source of cashmere-serve).
+func SynthesizeTrace(tenants []TenantSpec, horizon time.Duration, seed int64) map[string][]TraceEvent {
+	return serve.SynthesizeTrace(tenants, horizon, seed)
+}
 
 // NewCluster builds a simulated Cashmere cluster.
 func NewCluster(cfg Config) (*Cluster, error) { return core.NewCluster(cfg) }

@@ -8,10 +8,20 @@
 //
 //	cashmere-serve -nodes 4 -device gtx480 -load 0.8 -metrics
 //
-// The sweep mode regenerates BENCH_serve.json, the latency-vs-offered-load
-// curve behind the serving figure (`make bench-serve`):
+// The sweep mode regenerates BENCH_serve.json — the latency-vs-offered-load
+// curve behind the serving figure plus the static-vs-autoscaled elasticity
+// rows (`make bench-serve`):
 //
 //	cashmere-serve -sweep -out BENCH_serve.json
+//
+// Elastic capacity and fault injection on a single run:
+//
+//	cashmere-serve -nodes 4 -arrival diurnal -autoscale   # scale with the swing
+//	cashmere-serve -nodes 4 -chaos                        # partitions/stragglers/crashes
+//	cashmere-serve -replay synth                          # trace-replay arrivals
+//
+// `-sweep-autoscale` prints the short elasticity sweep without touching the
+// committed JSON (`make bench-autoscale`).
 //
 // Identical flags and -seed produce byte-identical output, including the
 // latency quantiles, at any -parallel or -partitions setting.
@@ -40,6 +50,15 @@ type sweepReport struct {
 	HorizonSec  float64            `json:"horizon_sec"`
 	Seed        int64              `json:"seed"`
 	Rows        []bench.ServePoint `json:"rows"`
+	Autoscale   *autoscaleSection  `json:"autoscale,omitempty"`
+}
+
+type autoscaleSection struct {
+	Description string                 `json:"description"`
+	Swing       float64                `json:"swing"`
+	PeriodSec   float64                `json:"period_sec"`
+	HorizonSec  float64                `json:"horizon_sec"`
+	Rows        []bench.AutoscalePoint `json:"rows"`
 }
 
 func main() {
@@ -51,7 +70,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation RNG seed")
 	metrics := flag.Bool("metrics", false, "print the full metrics dump after the report")
 	traceF := flag.String("trace", "", "write a Chrome trace of the run")
-	sweep := flag.Bool("sweep", false, "run the latency-vs-load sweep instead of a single run")
+	sweep := flag.Bool("sweep", false, "run the latency-vs-load and elasticity sweeps instead of a single run")
+	sweepAuto := flag.Bool("sweep-autoscale", false, "run only the elasticity sweep and print it (no JSON output)")
+	autoscale := flag.Bool("autoscale", false, "enable the elastic autoscaler on a single run")
+	chaos := flag.Bool("chaos", false, "enable the chaos harness (partitions, stragglers, crashes) on a single run")
+	replay := flag.String("replay", "", "replay arrivals from a trace file, or \"synth\" for a synthesized schedule")
 	out := flag.String("out", "BENCH_serve.json", "sweep output path")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"number of sweep points simulated concurrently; output is identical at any setting")
@@ -60,15 +83,34 @@ func main() {
 	flag.Parse()
 	bench.SetParallelism(*parallel)
 
+	if *sweepAuto {
+		if err := runAutoscaleSweep(*nodes, *dev, *duration, *seed, *partitions); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if *sweep {
 		if err := runSweep(*nodes, *dev, *duration, *seed, *partitions, *out); err != nil {
 			fail(err)
 		}
 		return
 	}
-	if err := runOnce(*nodes, *dev, *duration, *load, *arrival, *seed, *partitions, *metrics, *traceF); err != nil {
+	opts := runOpts{
+		autoscale: *autoscale, chaos: *chaos, replay: *replay,
+		metrics: *metrics, traceF: *traceF,
+	}
+	if err := runOnce(*nodes, *dev, *duration, *load, *arrival, *seed, *partitions, opts); err != nil {
 		fail(err)
 	}
+}
+
+// runOpts bundles the single-run feature switches.
+type runOpts struct {
+	autoscale bool
+	chaos     bool
+	replay    string
+	metrics   bool
+	traceF    string
 }
 
 func fail(err error) {
@@ -76,7 +118,7 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-func runOnce(nodes int, dev string, horizon time.Duration, load float64, arrival string, seed int64, partitions int, metrics bool, traceF string) error {
+func runOnce(nodes int, dev string, horizon time.Duration, load float64, arrival string, seed int64, partitions int, opts runOpts) error {
 	w, err := serve.StandardWorkload(1)
 	if err != nil {
 		return err
@@ -95,6 +137,25 @@ func runOnce(nodes int, dev string, horizon time.Duration, load float64, arrival
 		return err
 	}
 	w.ScaleRates(load * capacity)
+	if opts.replay != "" {
+		var traces map[string][]serve.TraceEvent
+		if opts.replay == "synth" {
+			traces = serve.SynthesizeTrace(w.Tenants, simnet.Duration(horizon), seed)
+		} else {
+			f, err := os.Open(opts.replay)
+			if err != nil {
+				return err
+			}
+			traces, err = serve.ParseTrace(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+		}
+		if err := w.ApplyTrace(traces, 0); err != nil {
+			return err
+		}
+	}
 
 	ccfg := core.DefaultConfig(nodes, dev)
 	ccfg.Seed = seed
@@ -102,7 +163,7 @@ func runOnce(nodes int, dev string, horizon time.Duration, load float64, arrival
 	// Tracing is the only consumer that needs the recorder; keeping it off
 	// otherwise keeps the -metrics dump free of recorder counters and thus
 	// byte-identical across -partitions settings.
-	ccfg.Record = traceF != ""
+	ccfg.Record = opts.traceF != ""
 	cl, err := core.NewCluster(ccfg)
 	if err != nil {
 		return err
@@ -114,6 +175,12 @@ func runOnce(nodes int, dev string, horizon time.Duration, load float64, arrival
 	}
 	scfg := serve.DefaultConfig(w)
 	scfg.Horizon = simnet.Duration(horizon)
+	if opts.autoscale {
+		scfg.Autoscale = serve.DefaultAutoscale()
+	}
+	if opts.chaos {
+		scfg.Chaos = serve.DefaultChaos(seed)
+	}
 	rep, err := serve.Run(cl, scfg)
 	if err != nil {
 		return err
@@ -121,8 +188,8 @@ func runOnce(nodes int, dev string, horizon time.Duration, load float64, arrival
 	fmt.Printf("%d x %s, modeled capacity %.0f req/s, offered %.2fx\n", nodes, dev, capacity, load)
 	fmt.Print(rep.Format())
 
-	if traceF != "" {
-		f, err := os.Create(traceF)
+	if opts.traceF != "" {
+		f, err := os.Create(opts.traceF)
 		if err == nil {
 			err = cl.Recorder().WriteChromeTrace(f)
 		}
@@ -132,9 +199,9 @@ func runOnce(nodes int, dev string, horizon time.Duration, load float64, arrival
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "cashmere-serve: wrote %s: %d spans\n", traceF, cl.Recorder().Len())
+		fmt.Fprintf(os.Stderr, "cashmere-serve: wrote %s: %d spans\n", opts.traceF, cl.Recorder().Len())
 	}
-	if metrics {
+	if opts.metrics {
 		m := cl.CollectMetrics()
 		rep.FillMetrics(m)
 		fmt.Print(m.Format())
@@ -154,6 +221,17 @@ func runSweep(nodes int, dev string, horizon time.Duration, seed int64, partitio
 		return err
 	}
 	fmt.Print(fig.Format())
+
+	acfg := bench.DefaultAutoscaleSweep()
+	acfg.Nodes = nodes
+	acfg.Device = dev
+	acfg.Seed = seed
+	acfg.Partitions = partitions
+	afig, apoints, err := bench.NodeHoursVsLoad(acfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(afig.Format())
 
 	w, err := serve.StandardWorkload(1)
 	if err != nil {
@@ -176,6 +254,16 @@ func runSweep(nodes int, dev string, horizon time.Duration, seed int64, partitio
 		HorizonSec:  horizon.Seconds(),
 		Seed:        seed,
 		Rows:        points,
+		Autoscale: &autoscaleSection{
+			Description: "Elasticity under a 5x diurnal swing: the same workload on the static " +
+				"full fleet vs the autoscaler draining to a 2-node floor. The autoscaled fleet " +
+				"holds the SLO at substantially fewer provisioned node-seconds. " +
+				"Regenerate with: make bench-serve",
+			Swing:      acfg.Swing,
+			PeriodSec:  simnet.Duration(acfg.Period).Seconds(),
+			HorizonSec: simnet.Duration(acfg.Horizon).Seconds(),
+			Rows:       apoints,
+		},
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -185,5 +273,30 @@ func runSweep(nodes int, dev string, horizon time.Duration, seed int64, partitio
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "cashmere-serve: wrote %s\n", out)
+	return nil
+}
+
+// runAutoscaleSweep runs only the elasticity sweep and prints the figure —
+// the quick look behind `make bench-autoscale` and the CI bench smoke.
+func runAutoscaleSweep(nodes int, dev string, horizon time.Duration, seed int64, partitions int) error {
+	cfg := bench.DefaultAutoscaleSweep()
+	cfg.Nodes = nodes
+	cfg.Device = dev
+	cfg.Seed = seed
+	cfg.Partitions = partitions
+	if horizon > 0 && horizon != time.Second {
+		cfg.Horizon = simnet.Duration(horizon)
+	}
+	fig, points, err := bench.NodeHoursVsLoad(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(fig.Format())
+	for _, p := range points {
+		fmt.Printf("load %.2f: static %.4g node-s -> autoscaled %.4g (saving %.1f%%), SLO %.1f%% -> %.1f%%, p99 %.1fms -> %.1fms, %d out / %d in / %d forced / %d migrated\n",
+			p.LoadFactor, p.StaticNodeSec, p.AutoNodeSec, p.SavingPct,
+			p.StaticSLOPct, p.AutoSLOPct, p.StaticP99Ms, p.AutoP99Ms,
+			p.ScaleOuts, p.ScaleIns, p.DrainsForced, p.Migrated)
+	}
 	return nil
 }

@@ -50,12 +50,14 @@ func (cl *Cluster) CollectMetrics() *trace.Metrics {
 	m.SetInt("satin.jobs_spawned", cl.rt.JobsSpawned())
 	m.SetInt("satin.jobs_executed", cl.rt.JobsExecuted())
 	m.SetInt("satin.jobs_reexecuted", cl.rt.JobsReExecuted())
+	m.SetInt("satin.jobs_migrated", cl.rt.JobsMigrated())
 	m.SetInt("satin.steals_ok", cl.rt.StealsOK())
 	m.SetInt("satin.steals_failed", cl.rt.StealsFailed())
 
 	fab := cl.rt.Fabric()
 	m.SetInt("net.bytes_sent", fab.BytesSent())
 	m.SetInt("net.messages_sent", fab.MessagesSent())
+	m.SetInt("net.messages_dropped", fab.MessagesDropped())
 
 	var launches, bytesMoved int64
 	var costHits, costMisses int64

@@ -201,6 +201,14 @@ type Endpoint struct {
 	inbox   *simnet.Chan[Message]
 	dead    bool
 
+	// cut[peer] marks the link to that peer as severed (network-partition
+	// injection): sends toward it are dropped at the NIC and in-flight
+	// deliveries from it are dropped on arrival. Only the endpoint's owning
+	// kernel mutates it (Fabric.SetLinkAt posts symmetric flips to both
+	// ends), so chaos cuts are layout-invariant. Nil until the first cut.
+	cut     []bool
+	dropped int64
+
 	// couriers is the free list of pooled receive-side processes.
 	couriers   []*courier
 	courierSeq int
@@ -318,6 +326,54 @@ func (e *Endpoint) Kill() { e.dead = true }
 // Alive reports whether the endpoint is alive.
 func (e *Endpoint) Alive() bool { return !e.dead }
 
+// linkDown reports whether the link between this endpoint and peer is cut.
+func (e *Endpoint) linkDown(peer int) bool {
+	return e.cut != nil && e.cut[peer]
+}
+
+// LinkUp reports whether the link between this endpoint and peer carries
+// traffic (for tests and failure detectors running on the owning kernel).
+func (e *Endpoint) LinkUp(peer int) bool { return !e.linkDown(peer) }
+
+// setLink flips the local half of the link to peer. Must run on the
+// endpoint's owning kernel.
+func (e *Endpoint) setLink(peer int, up bool) {
+	if e.cut == nil {
+		if up {
+			return
+		}
+		e.cut = make([]bool, e.f.Size())
+	}
+	e.cut[peer] = !up
+}
+
+// Dropped reports the number of messages this endpoint lost to dead
+// endpoints or severed links (send- and receive-side combined).
+func (e *Endpoint) Dropped() int64 { return e.dropped }
+
+// MessagesDropped sums the per-endpoint drop counters: messages lost to
+// dead endpoints and severed links. Trajectory-determined, so it is safe to
+// include in byte-compared metric dumps.
+func (f *Fabric) MessagesDropped() int64 {
+	var n int64
+	for _, e := range f.nodes {
+		n += e.dropped
+	}
+	return n
+}
+
+// SetLinkAt schedules a symmetric state change of the a<->b link at virtual
+// time t: both halves flip on their owning kernels at exactly t, so a
+// partition (and its heal) lands identically in every partition layout. The
+// caller's process must run on src's partition, and t must respect the
+// scheduler's lookahead for cross-partition ends. Messages already past
+// their send point are dropped on delivery while the receiving half is cut.
+func (f *Fabric) SetLinkAt(src *simnet.Kernel, a, b int, t simnet.Time, up bool) {
+	ea, eb := f.nodes[a], f.nodes[b]
+	f.ps.Post(src, ea.k, a, t, func() { ea.setLink(b, up) })
+	f.ps.Post(src, eb.k, b, t, func() { eb.setLink(a, up) })
+}
+
 // getArrival pops a pooled arrival record (called from the sender's
 // partition, hence the lock).
 func (e *Endpoint) getArrival() *arrival {
@@ -360,9 +416,11 @@ func (e *Endpoint) Send(p *simnet.Proc, to int, kind string, size int64, payload
 }
 
 func (e *Endpoint) send(p *simnet.Proc, m Message) {
-	if e.dead {
-		// A dead node cannot transmit; model as silent loss. The caller's
-		// process usually gets cancelled by the failure detector.
+	if e.dead || e.linkDown(m.To) {
+		// A dead node (or one behind a severed link) cannot transmit; model
+		// as silent loss. The caller's process usually gets cancelled by the
+		// failure detector.
+		e.dropped++
 		return
 	}
 	dst := e.f.nodes[m.To]
@@ -406,7 +464,10 @@ func (e *Endpoint) send(p *simnet.Proc, m Message) {
 }
 
 func (e *Endpoint) deliver(m Message) {
-	if e.dead {
+	if e.dead || (m.From != e.id && e.linkDown(m.From)) {
+		// Receive-side loss: the endpoint died or the link was cut while the
+		// message was in flight.
+		e.dropped++
 		return
 	}
 	e.msgsIn++

@@ -52,6 +52,14 @@ type Device struct {
 	memWait simnet.WaitList
 	rec     *trace.Recorder
 
+	// slowdown stretches every modeled transfer and kernel duration; 1 is
+	// nominal speed. Chaos experiments degrade a device (straggler
+	// injection: thermal throttling, ECC retirement, a noisy PCIe lane)
+	// without mutating the shared device.Spec catalog. It must only be
+	// changed from the device's own kernel (use simnet.Partitioned.Post
+	// from other partitions) so trajectories stay layout-invariant.
+	slowdown float64
+
 	kernelBusy  simnet.Time // accumulated kernel-execution time
 	xferBusy    simnet.Time // accumulated DMA-engine transfer time
 	bytesMoved  int64
@@ -65,7 +73,7 @@ type Device struct {
 // NewDevice creates a device of the given spec installed in node nodeID.
 // rec may be nil to disable tracing.
 func NewDevice(k *simnet.Kernel, spec *device.Spec, nodeID, index int, rec *trace.Recorder) *Device {
-	d := &Device{k: k, spec: spec, nodeID: nodeID, index: index, rec: rec}
+	d := &Device{k: k, spec: spec, nodeID: nodeID, index: index, rec: rec, slowdown: 1}
 	d.name = fmt.Sprintf("%s#%d", spec.Name, index)
 	d.qKern = newQueue(d, d.name+".kern", &d.kernelBusy)
 	d.qH2D = newQueue(d, d.name+".xfer", &d.xferBusy)
@@ -79,6 +87,28 @@ func NewDevice(k *simnet.Kernel, spec *device.Spec, nodeID, index int, rec *trac
 
 // Spec returns the device model.
 func (d *Device) Spec() *device.Spec { return d.spec }
+
+// SetSlowdown sets the degradation factor applied to every subsequently
+// enqueued transfer and kernel (f >= 1 slows the device down; 1 restores
+// nominal speed). Operations already in the queues keep the durations they
+// were enqueued with. Must run on the device's owning kernel.
+func (d *Device) SetSlowdown(f float64) {
+	if f < 1 {
+		f = 1
+	}
+	d.slowdown = f
+}
+
+// Slowdown reports the current degradation factor (1 = nominal).
+func (d *Device) Slowdown() float64 { return d.slowdown }
+
+// stretch applies the degradation factor to a modeled duration.
+func (d *Device) stretch(t time.Duration) time.Duration {
+	if d.slowdown == 1 {
+		return t
+	}
+	return time.Duration(float64(t) * d.slowdown)
+}
 
 // Name returns a unique name within the node, e.g. "gtx480#0".
 func (d *Device) Name() string { return d.name }
@@ -198,13 +228,13 @@ func (d *Device) AllocBlocking(p *simnet.Proc, size int64) (*Buffer, error) {
 // elapsed behind everything already in the queue and in deps. label is only
 // consulted when Tracing is true; pass "" otherwise.
 func (d *Device) EnqueueWrite(n int64, label string, deps ...Event) Event {
-	return d.qH2D.enqueue(trace.KindH2D, d.spec.TransferTime(n), n, label, deps)
+	return d.qH2D.enqueue(trace.KindH2D, d.stretch(d.spec.TransferTime(n)), n, label, deps)
 }
 
 // EnqueueRead appends a device-to-host transfer of n bytes to the D2H queue
 // (the shared DMA queue on single-copy-engine devices).
 func (d *Device) EnqueueRead(n int64, label string, deps ...Event) Event {
-	return d.qD2H.enqueue(trace.KindD2H, d.spec.TransferTime(n), n, label, deps)
+	return d.qD2H.enqueue(trace.KindD2H, d.stretch(d.spec.TransferTime(n)), n, label, deps)
 }
 
 // EnqueueLaunch appends a kernel execution with the given cost descriptor to
@@ -212,7 +242,7 @@ func (d *Device) EnqueueRead(n int64, label string, deps ...Event) Event {
 // which is pure: schedulers wanting the measured kernel time compute it
 // directly rather than reading it back from the Event.
 func (d *Device) EnqueueLaunch(cost device.KernelCost, label string, deps ...Event) Event {
-	return d.qKern.enqueue(trace.KindKernel, d.spec.KernelTime(cost), 0, label, deps)
+	return d.qKern.enqueue(trace.KindKernel, d.stretch(d.spec.KernelTime(cost)), 0, label, deps)
 }
 
 // Write moves the buffer's bytes host-to-device, blocking p for the modeled
@@ -242,7 +272,10 @@ func (d *Device) ReadBytes(p *simnet.Proc, n int64, label string) {
 // compute-engine queueing), which Cashmere's intra-node scheduler records as
 // the measured kernel time for that device.
 func (d *Device) Launch(p *simnet.Proc, cost device.KernelCost, label string) time.Duration {
-	t := d.spec.KernelTime(cost)
+	// The returned "measured" time reflects the degradation factor, so a
+	// scheduler refining its speed table naturally routes work away from a
+	// straggling device.
+	t := d.stretch(d.spec.KernelTime(cost))
 	d.EnqueueLaunch(cost, label).Wait(p)
 	return t
 }

@@ -21,6 +21,7 @@ package satin
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"cashmere/internal/network"
@@ -122,6 +123,14 @@ type Runtime struct {
 	// message kinds the runtime does not handle itself (the extension point
 	// of the serving layer). Install it with SetMessageHandler before Run.
 	handler func(ctx *Context, m network.Message) bool
+
+	// downDeclared is the master's local view of nodes it crashed through
+	// CrashAsync or Kill. It is only touched by node-0 processes, and lets
+	// the final shutdown fall back from the binomial-tree broadcast (which a
+	// dead interior node would sever, stranding its subtree's comm loops) to
+	// per-node unicasts.
+	downDeclared []bool
+	anyDown      bool
 }
 
 // Node is one cluster node's runtime state.
@@ -148,6 +157,15 @@ type Node struct {
 	jobSeq       uint64
 	done         bool
 	dead         bool
+	// draining marks a node that is being decommissioned: its workers stop
+	// stealing new work, foreign-owned deque jobs are shipped home, and its
+	// own jobs remain stealable so the cluster absorbs them.
+	draining bool
+	// peerDown is this node's local failure-detector view: peerDown[i] means
+	// node i was announced dead (node_down broadcast, or Kill in
+	// single-partition runs). Victim selection consults only this view —
+	// never another node's memory — so crash handling is partition-safe.
+	peerDown []bool
 
 	// Stats (per node; Runtime sums them on demand).
 	jobsExecuted   int64
@@ -155,6 +173,7 @@ type Node struct {
 	stealsOK       int64
 	stealsFailed   int64
 	jobsReExecuted int64
+	jobsMigrated   int64
 }
 
 type outRec struct {
@@ -201,8 +220,10 @@ func NewPartitioned(ps *simnet.Partitioned, n int, netCfg network.Config, cfg Co
 			pendingSteal: map[int]*simnet.Chan[*Job]{},
 			stealReply:   map[int]*simnet.Chan[*Job]{},
 			outstanding:  map[uint64]outRec{},
+			peerDown:     make([]bool, n),
 		})
 	}
+	rt.downDeclared = make([]bool, n)
 	return rt
 }
 
@@ -276,6 +297,12 @@ func (rt *Runtime) JobsReExecuted() int64 {
 	return rt.sum(func(n *Node) int64 { return n.jobsReExecuted })
 }
 
+// JobsMigrated sums the per-node drain-migration counters: jobs a draining
+// node shipped back to their owners.
+func (rt *Runtime) JobsMigrated() int64 {
+	return rt.sum(func(n *Node) int64 { return n.jobsMigrated })
+}
+
 // sum folds a per-node counter. Must not be called while the simulation runs.
 func (rt *Runtime) sum(f func(*Node) int64) int64 {
 	var t int64
@@ -313,8 +340,18 @@ func (rt *Runtime) Run(main func(ctx *Context) any) (any, simnet.Time) {
 		finished = p.Now()
 		// Tell every comm loop to shut down; remote nodes flip their own done
 		// flags when the broadcast reaches them, so no partition ever reads
-		// another's memory.
-		rt.nodes[0].ep.Broadcast(p, "shutdown", 64, nil)
+		// another's memory. When the master crashed nodes itself, a dead
+		// interior node would sever the binomial tree and strand its subtree's
+		// comm loops, so fall back to unicasts to the declared-live nodes.
+		if !rt.anyDown {
+			rt.nodes[0].ep.Broadcast(p, "shutdown", 64, nil)
+		} else {
+			for i := 1; i < len(rt.nodes); i++ {
+				if !rt.downDeclared[i] {
+					rt.nodes[0].ep.Send(p, i, "shutdown", 64, nil)
+				}
+			}
+		}
 	})
 	// Drain remaining events (idle workers noticing done, comm shutdown);
 	// the reported completion time is when main returned.
@@ -334,10 +371,13 @@ func (n *Node) workerLoop(p *simnet.Proc, id int) {
 			backoff = n.rt.cfg.StealBackoff
 			continue
 		}
-		if job := n.trySteal(p, id); job != nil {
-			n.runJob(p, id, job)
-			backoff = n.rt.cfg.StealBackoff
-			continue
+		// A draining node finishes what it has but never pulls new work in.
+		if !n.draining {
+			if job := n.trySteal(p, id); job != nil {
+				n.runJob(p, id, job)
+				backoff = n.rt.cfg.StealBackoff
+				continue
+			}
 		}
 		p.Hold(backoff)
 		if backoff < maxBackoff {
@@ -452,14 +492,16 @@ func (n *Node) trySteal(p *simnet.Proc, workerID int) *Job {
 	return nil
 }
 
-// victim picks a random live node other than self, from the node's own
-// random stream. The dead flags of remote nodes are only ever written in
-// single-partition mode (Kill), so the cross-node reads here are safe.
+// victim picks a random node other than self that this node believes to be
+// alive, from the node's own random stream. Liveness comes from the node's
+// local peerDown view (updated by node_down broadcasts, or directly by Kill
+// in single-partition runs) — never from another node's memory, so victim
+// selection is partition-safe. A stale view only costs a timed-out probe.
 func (n *Node) victim() int {
 	rt := n.rt
 	alive := make([]int, 0, len(rt.nodes))
 	for _, c := range rt.nodes {
-		if c.ID != n.ID && !c.dead {
+		if c.ID != n.ID && !n.peerDown[c.ID] {
 			alive = append(alive, c.ID)
 		}
 	}
@@ -544,6 +586,78 @@ func (n *Node) commLoop(p *simnet.Proc) {
 		case "shared_update":
 			up := m.Payload.(sharedUpdate)
 			n.rt.shared[up.Index].applyLocal(n.ID, up.Args)
+		case "satin_drain":
+			// Decommission protocol, phase 1: stop pulling new work in
+			// (workerLoop checks draining) and ship foreign-owned deque jobs
+			// back to their owners. Our own jobs stay in the deque and remain
+			// stealable, so the rest of the cluster absorbs them.
+			n.draining = true
+			keep := n.deque[:0]
+			for _, job := range n.deque {
+				if job.owner == n.ID {
+					keep = append(keep, job)
+					continue
+				}
+				ep, owner, j := n.ep, job.owner, job
+				n.pool.Go(func(sp *simnet.Proc) {
+					ep.Send(sp, owner, "drain_job", j.Desc.InputBytes, j)
+				})
+			}
+			n.deque = keep
+			n.noteQueueDepth()
+		case "satin_undrain":
+			// A drained node returning to service resumes stealing.
+			n.draining = false
+		case "drain_job":
+			// A draining node returned a job of ours it had been holding. The
+			// job is physically home now, so any outstanding re-queue coverage
+			// for it is obsolete.
+			job := m.Payload.(*Job)
+			delete(n.outstanding, job.ID)
+			n.deque = append(n.deque, job)
+			n.jobsMigrated++
+			n.rt.rec.CounterAdd(n.ID, "satin.migrations", p.Now(), 1)
+			n.noteQueueDepth()
+		case "satin_die":
+			// Message-based crash injection (the partition-safe Kill). Announce
+			// the death to every peer first — the endpoint drops all traffic
+			// once dead — with unicasts rather than the binomial broadcast,
+			// which an earlier correlated crash could sever.
+			for i := range n.rt.nodes {
+				if i != n.ID {
+					n.ep.Send(p, i, "node_down", 64, n.ID)
+				}
+			}
+			n.rt.rec.CounterAdd(n.ID, "satin.crashes", p.Now(), 1)
+			n.dead = true
+			n.ep.Kill()
+			n.deque = nil
+			n.noteQueueDepth()
+			return
+		case "node_down":
+			// A peer crashed: stop picking it as a victim, and re-queue every
+			// job it had stolen from us for re-execution — Satin's fault
+			// tolerance. Map iteration order is not deterministic, so collect
+			// and sort by job ID before touching the deque.
+			id := m.Payload.(int)
+			n.peerDown[id] = true
+			jids := make([]uint64, 0, len(n.outstanding))
+			for jid, rec := range n.outstanding {
+				if rec.thief == id {
+					jids = append(jids, jid)
+				}
+			}
+			sort.Slice(jids, func(a, b int) bool { return jids[a] < jids[b] })
+			for _, jid := range jids {
+				rec := n.outstanding[jid]
+				delete(n.outstanding, jid)
+				n.deque = append(n.deque, rec.job)
+				n.jobsReExecuted++
+				n.rt.rec.CounterAdd(n.ID, "satin.reexecutions", p.Now(), 1)
+			}
+			if len(jids) > 0 {
+				n.noteQueueDepth()
+			}
 		default:
 			if h := n.rt.handler; h != nil {
 				h(&Context{p: p, node: n, manyCore: true}, m)
@@ -584,6 +698,38 @@ func (n *Node) runJob(p *simnet.Proc, workerID int, job *Job) {
 	n.ep.Send(p, job.owner, "result", job.Desc.ResultBytes, resultMsg{JobID: job.ID, Value: v})
 }
 
+// DrainAsync asks node id to decommission itself: its workers stop stealing,
+// foreign-owned queued jobs are shipped back to their owners, and its own
+// jobs remain stealable until the cluster absorbs them. The request travels
+// as a message, so it is safe at any partition count. Must be called from a
+// process running on node 0's event stream (the serving layer's frontend).
+func (rt *Runtime) DrainAsync(p *simnet.Proc, id int) {
+	if id == 0 {
+		panic("satin: cannot drain the master")
+	}
+	rt.nodes[0].ep.Send(p, id, "satin_drain", 64, nil)
+}
+
+// UndrainAsync reverses DrainAsync: the node's workers resume stealing.
+// Must be called from a process running on node 0's event stream.
+func (rt *Runtime) UndrainAsync(p *simnet.Proc, id int) {
+	rt.nodes[0].ep.Send(p, id, "satin_undrain", 64, nil)
+}
+
+// CrashAsync crashes node id through the message path: the victim announces
+// its death to every peer (triggering outstanding-job re-execution on the
+// owners) and then drops off the network. Unlike Kill it is safe at any
+// partition count because no other node's memory is touched directly. Must
+// be called from a process running on node 0's event stream.
+func (rt *Runtime) CrashAsync(p *simnet.Proc, id int) {
+	if id == 0 {
+		panic("satin: cannot crash the master in this reproduction")
+	}
+	rt.downDeclared[id] = true
+	rt.anyDown = true
+	rt.nodes[0].ep.Send(p, id, "satin_die", 64, nil)
+}
+
 // Kill crashes a node: its endpoint drops traffic, its workers stop, and
 // jobs it had stolen are re-queued for re-execution on their owners —
 // Satin's fault-tolerance mechanism.
@@ -600,20 +746,30 @@ func (rt *Runtime) Kill(id int) {
 	victim := rt.nodes[id]
 	victim.dead = true
 	victim.ep.Kill()
+	rt.downDeclared[id] = true
+	rt.anyDown = true
 	rt.rec.CounterAdd(id, "satin.crashes", rt.k.Now(), 1)
-	// Jobs the victim had stolen are re-executed by their owners.
+	// Jobs the victim had stolen are re-executed by their owners. Collect and
+	// sort by job ID first: map iteration order must never reach the deque.
 	for _, n := range rt.nodes {
 		if n.dead {
 			continue
 		}
+		n.peerDown[id] = true
+		jids := make([]uint64, 0, len(n.outstanding))
 		for jid, rec := range n.outstanding {
 			if rec.thief == id {
-				delete(n.outstanding, jid)
-				n.deque = append(n.deque, rec.job)
-				n.jobsReExecuted++
-				rt.rec.CounterAdd(n.ID, "satin.reexecutions", rt.k.Now(), 1)
-				n.noteQueueDepth()
+				jids = append(jids, jid)
 			}
+		}
+		sort.Slice(jids, func(a, b int) bool { return jids[a] < jids[b] })
+		for _, jid := range jids {
+			rec := n.outstanding[jid]
+			delete(n.outstanding, jid)
+			n.deque = append(n.deque, rec.job)
+			n.jobsReExecuted++
+			rt.rec.CounterAdd(n.ID, "satin.reexecutions", rt.k.Now(), 1)
+			n.noteQueueDepth()
 		}
 	}
 	// Jobs queued on the victim that belong to live owners (a timed-out

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"time"
+
+	"cashmere/internal/satin"
+	"cashmere/internal/simnet"
+)
+
+// AutoscaleConfig tunes the elastic autoscaler. The controller runs on node
+// 0 every Interval and reads two signals: the queue depth per active
+// dispatcher slot and the p99 latency over the last interval (a windowed
+// reading of the log-bucketed histogram, so it tracks the current regime
+// rather than run-wide history). Hysteresis comes from consecutive-tick
+// thresholds plus a cooldown after every action, so a single burst neither
+// flaps the fleet up nor a quiet tick flaps it down.
+type AutoscaleConfig struct {
+	// Min/Max bound the Active node count. Zero Max means every node of the
+	// cluster; Min is clamped to at least 1 (node 0 never leaves rotation).
+	Min, Max int
+	// Initial is the Active node count at start (0 means Max); the rest of
+	// the fleet starts Parked.
+	Initial int
+	// Interval is the control period (default 10ms of virtual time).
+	Interval simnet.Duration
+	// HighQueuePerSlot scales out when queued/activeSlots exceeds it.
+	HighQueuePerSlot float64
+	// LowQueuePerSlot is the scale-in ceiling on queued/activeSlots.
+	LowQueuePerSlot float64
+	// P99Factor scales out when the windowed p99 exceeds P99Factor×SLO;
+	// scale-in additionally requires p99 below half that bar.
+	P99Factor float64
+	// UpTicks/DownTicks are the consecutive hot/cold intervals required
+	// before acting (hysteresis).
+	UpTicks, DownTicks int
+	// Cooldown is the minimum gap between scaling actions.
+	Cooldown simnet.Duration
+	// DrainGrace bounds a scale-in drain: batches still in flight when it
+	// expires are aborted and re-queued onto the remaining fleet.
+	DrainGrace simnet.Duration
+}
+
+// DefaultAutoscale returns the controller tuning used by cashmere-serve
+// and the autoscale sweep.
+func DefaultAutoscale() *AutoscaleConfig {
+	return &AutoscaleConfig{
+		Min:              1,
+		Interval:         10 * time.Millisecond,
+		HighQueuePerSlot: 3,
+		LowQueuePerSlot:  0.5,
+		P99Factor:        0.9,
+		UpTicks:          2,
+		DownTicks:        6,
+		Cooldown:         40 * time.Millisecond,
+		DrainGrace:       10 * time.Millisecond,
+	}
+}
+
+// norm clamps the configuration to a cluster of n nodes and fills defaults.
+func (a AutoscaleConfig) norm(n int) AutoscaleConfig {
+	if a.Max <= 0 || a.Max > n {
+		a.Max = n
+	}
+	if a.Min < 1 {
+		a.Min = 1
+	}
+	if a.Min > a.Max {
+		a.Min = a.Max
+	}
+	if a.Initial <= 0 {
+		a.Initial = a.Max
+	}
+	if a.Initial < a.Min {
+		a.Initial = a.Min
+	}
+	if a.Initial > a.Max {
+		a.Initial = a.Max
+	}
+	if a.Interval <= 0 {
+		a.Interval = 10 * time.Millisecond
+	}
+	if a.HighQueuePerSlot <= 0 {
+		a.HighQueuePerSlot = 3
+	}
+	if a.LowQueuePerSlot <= 0 {
+		a.LowQueuePerSlot = 0.5
+	}
+	if a.P99Factor <= 0 {
+		a.P99Factor = 0.9
+	}
+	if a.UpTicks < 1 {
+		a.UpTicks = 2
+	}
+	if a.DownTicks < 1 {
+		a.DownTicks = 6
+	}
+	if a.Cooldown < 0 {
+		a.Cooldown = 0
+	}
+	if a.DrainGrace <= 0 {
+		a.DrainGrace = 10 * time.Millisecond
+	}
+	return a
+}
+
+// lowestParked returns the lowest-id Parked node, or -1. Scale-out prefers
+// low ids and scale-in sheds high ids so the fleet contracts and expands at
+// the same end — a deterministic, layout-invariant policy.
+func (el *elastic) lowestParked() int {
+	for i := 1; i < len(el.nodes); i++ {
+		if el.nodes[i].phase == phaseParked {
+			return i
+		}
+	}
+	return -1
+}
+
+// highestActive returns the highest-id Active node other than 0, or -1.
+func (el *elastic) highestActive() int {
+	for i := len(el.nodes) - 1; i >= 1; i-- {
+		if el.nodes[i].phase == phaseActive {
+			return i
+		}
+	}
+	return -1
+}
+
+// autoscaleLoop is the controller process (runs on node 0 inside the
+// simulation; exits once the experiment drains).
+func (el *elastic) autoscaleLoop(ctx *satin.Context, cfg AutoscaleConfig) {
+	f := el.f
+	p := ctx.Proc()
+	k := p.Kernel()
+	prev := f.Hist.Snapshot()
+	hi := int64(float64(f.cfg.SLO) * cfg.P99Factor)
+	lo := hi / 2
+	var up, down int
+	var lastAction simnet.Time
+	acted := false
+	for {
+		p.Hold(cfg.Interval)
+		if f.done.Done() {
+			return
+		}
+		now := p.Now()
+		win := f.Hist.Delta(&prev)
+		prev = f.Hist.Snapshot()
+		p99 := win.Quantile(0.99)
+		slots := el.activeSlots
+		if slots < 1 {
+			slots = 1
+		}
+		qps := float64(f.queued) / float64(slots)
+		hot := qps > cfg.HighQueuePerSlot || p99 > hi
+		cold := qps < cfg.LowQueuePerSlot && p99 < lo
+		switch {
+		case hot:
+			up, down = up+1, 0
+		case cold:
+			up, down = 0, down+1
+		default:
+			up, down = 0, 0
+		}
+		if acted && now-lastAction < simnet.Time(cfg.Cooldown) {
+			continue
+		}
+		if up >= cfg.UpTicks && el.activeNodes < cfg.Max {
+			if n := el.lowestParked(); n >= 0 {
+				el.activate(k, now, n)
+				// The node may have been satin-drained on its way out; let
+				// its workers steal again.
+				el.rt.UndrainAsync(p, n)
+				el.ScaleOuts++
+				f.rec.CounterAdd(0, "serve.scale_out", now, 1)
+				lastAction, acted, up = now, true, 0
+			}
+		} else if down >= cfg.DownTicks && el.activeNodes > cfg.Min {
+			if n := el.highestActive(); n >= 0 {
+				el.beginDrain(p, now, n, cfg.DrainGrace)
+				lastAction, acted, down = now, true, 0
+			}
+		}
+	}
+}

@@ -94,6 +94,8 @@ type Frontend struct {
 	work simnet.WaitList
 	// done completes when generators finished and all queues drained.
 	done *simnet.Future[struct{}]
+	// el is the elastic capacity controller (nil for fixed fleets).
+	el *elastic
 
 	// Global accounting.
 	Batches      int64
@@ -237,7 +239,14 @@ func (f *Frontend) Admit(now simnet.Time, tenant, class int) (r *Request, v Verd
 	if t.qlen >= t.queueLimit {
 		t.ShedQueue++
 		f.rec.CounterAdd(0, "serve.shed_queue", now, 1)
-		return nil, ShedQueue, f.cfg.RetryAfter
+		hint := f.cfg.RetryAfter
+		if f.el != nil {
+			// With nodes draining or down the backlog clears more slowly;
+			// stretch the hint by the inactive slot fraction so retries do
+			// not slam a shrunken fleet.
+			hint = f.el.scaleHint(hint)
+		}
+		return nil, ShedQueue, hint
 	}
 	if t.rate > 0 {
 		t.tokens--
@@ -381,4 +390,50 @@ func (f *Frontend) Complete(now simnet.Time, r *Request, ok bool) {
 // no retry is pending, and no request is queued or in flight.
 func (f *Frontend) Drained() bool {
 	return f.gensLive == 0 && f.pendingRetries == 0 && f.queued == 0 && f.inflight == 0
+}
+
+// requeue returns an aborted batch (popped by NextBatch, never executed)
+// to the front of its tenant's queue in original order, refunding the WFQ
+// finish-tag charge the pops accrued. The requests are not re-admitted —
+// Offered/Admitted are untouched and the queue-depth gauge is set to the
+// corrected absolute value, so nothing is double-counted.
+func (f *Frontend) requeue(now simnet.Time, batch []*Request) {
+	if len(batch) == 0 {
+		return
+	}
+	t := &f.tenants[batch[0].Tenant]
+	w := t.weight()
+	var cost float64
+	for i := len(batch) - 1; i >= 0; i-- {
+		r := batch[i]
+		r.next = t.head
+		t.head = r
+		if t.tail == nil {
+			t.tail = r
+		}
+		cost += r.cost
+	}
+	t.qlen += len(batch)
+	if t.qlen > t.MaxQueue {
+		t.MaxQueue = t.qlen
+	}
+	f.queued += len(batch)
+	if f.queued > f.maxDepth {
+		f.maxDepth = f.queued
+	}
+	f.inflight -= len(batch)
+	// Refund the charge, then restamp the head tag the way Admit does for an
+	// empty→backlogged transition: the batch must not inherit a finish tag it
+	// never got service for, nor claim an ancient start.
+	t.lastFinish -= cost / w
+	start := t.lastFinish
+	if f.vt > start {
+		start = f.vt
+	}
+	t.headTag = start + t.head.cost/w
+	if f.el != nil {
+		f.el.Migrated += int64(len(batch))
+	}
+	f.rec.CounterAdd(0, "serve.migrated", now, int64(len(batch)))
+	f.rec.GaugeSet(0, "serve.queue_depth", now, int64(f.queued))
 }

@@ -128,3 +128,27 @@ func (h *Hist) Merge(o *Hist) {
 
 // Reset clears the histogram.
 func (h *Hist) Reset() { *h = Hist{} }
+
+// Snapshot returns a value copy of the histogram, the anchor of a windowed
+// reading (the autoscaler samples p99 over its control interval, not over
+// the whole run, so it reacts to the current regime rather than history).
+func (h *Hist) Snapshot() Hist { return *h }
+
+// Delta returns the histogram of the samples recorded since prev was
+// snapshotted from this histogram. The exact per-sample max is not
+// recoverable from bucket differences, so the delta's max is the upper
+// bound of its highest occupied bucket — which keeps Quantile answers
+// monotone and deterministic.
+func (h *Hist) Delta(prev *Hist) Hist {
+	var d Hist
+	for i := range h.counts {
+		c := h.counts[i] - prev.counts[i]
+		d.counts[i] = c
+		if c > 0 {
+			d.max = bucketUpper(i)
+		}
+	}
+	d.n = h.n - prev.n
+	d.sum = h.sum - prev.sum
+	return d
+}

@@ -38,11 +38,29 @@ type batchMsg struct {
 	Proxy         int // reply routing key (index into dispatch.replies)
 	Tenant, Class int
 	N             int64
+	// Epoch is the sending slot's per-batch sequence number; the server
+	// echoes it so the proxy can discard replies to batches it has already
+	// settled (e.g. completed remotely after the elastic controller aborted
+	// and re-queued them).
+	Epoch int64
 }
 
 type batchDone struct {
 	Proxy int
 	OK    bool
+	Epoch int64
+	// Aborted marks an elastic-controller sentinel, not a server reply: the
+	// slot's node left rotation with this batch in flight, so the proxy must
+	// re-queue it instead of completing it.
+	Aborted bool
+}
+
+// slotState is node-0 bookkeeping for one proxy dispatcher slot, read by
+// the elastic controller to find batches in flight to a departing node.
+type slotState struct {
+	node int
+	busy bool
+	seq  int64
 }
 
 // nodeServer is the remote half of the protocol on one node: its compiled-
@@ -58,6 +76,7 @@ type dispatch struct {
 	cfg     Config
 	servers []*nodeServer             // index = node id (nil for node 0)
 	replies []*simnet.Chan[batchDone] // index = proxy id; node-0 state
+	slots   []slotState               // index = proxy id; node-0 state
 }
 
 func newDispatch(fe *Frontend, cfg Config, rt *satin.Runtime) *dispatch {
@@ -68,10 +87,12 @@ func newDispatch(fe *Frontend, cfg Config, rt *satin.Runtime) *dispatch {
 	return d
 }
 
-// newProxy registers a reply channel for one proxy dispatcher and returns its
-// id. Must be called before the simulation starts (node-0 state).
-func (d *dispatch) newProxy(k *simnet.Kernel) int {
+// newProxy registers a reply channel for one proxy dispatcher slot serving
+// the given node and returns its id. Must be called before the simulation
+// starts (node-0 state).
+func (d *dispatch) newProxy(k *simnet.Kernel, node int) int {
 	d.replies = append(d.replies, simnet.NewChan[batchDone](k))
+	d.slots = append(d.slots, slotState{node: node})
 	return len(d.replies) - 1
 }
 
@@ -86,7 +107,8 @@ func (d *dispatch) handle(ctx *satin.Context, m network.Message) bool {
 			ok := srv.run(c, d.cfg, bm)
 			class := &d.cfg.Tenants[bm.Tenant].Mix[bm.Class]
 			c.Runtime().Fabric().Endpoint(c.NodeID()).
-				Send(c.Proc(), 0, kindDone, class.OutBytes*bm.N, batchDone{Proxy: bm.Proxy, OK: ok})
+				Send(c.Proc(), 0, kindDone, class.OutBytes*bm.N,
+					batchDone{Proxy: bm.Proxy, OK: ok, Epoch: bm.Epoch})
 		})
 		return true
 	case kindDone:
@@ -132,15 +154,28 @@ func (s *nodeServer) run(ctx *satin.Context, cfg Config, bm batchMsg) bool {
 }
 
 // proxyLoop is a node-0 dispatcher slot for a remote node: same WFQ pull as
-// dispatchLoop, but execution happens across the network.
+// dispatchLoop, but execution happens across the network. Under elastic
+// control the slot parks on its node's gate while the node is out of
+// rotation, and an in-flight batch can be aborted by a sentinel reply —
+// the epoch filter discards the server's late real reply (or a stale
+// sentinel) so each batch settles exactly once.
 func (d *dispatch) proxyLoop(ctx *satin.Context, node, proxy int) {
 	f := d.fe
 	p := ctx.Proc()
 	k := p.Kernel()
 	ep := ctx.Runtime().Fabric().Endpoint(0)
 	reply := d.replies[proxy]
+	slot := &d.slots[proxy]
 	buf := make([]*Request, 0, f.cfg.MaxBatch)
 	for {
+		if f.el != nil {
+			for !f.el.isActive(node) {
+				if f.done != nil && f.done.Done() {
+					return
+				}
+				f.el.nodes[node].gate.Park(p)
+			}
+		}
 		buf = f.NextBatch(p.Now(), buf[:0])
 		if len(buf) == 0 {
 			if f.Drained() {
@@ -154,24 +189,40 @@ func (d *dispatch) proxyLoop(ctx *satin.Context, node, proxy int) {
 		t := &f.tenants[r0.Tenant]
 		class := &t.spec.Mix[r0.Class]
 		n := int64(len(buf))
+		slot.seq++
+		slot.busy = true
 		ep.Send(p, node, kindBatch, class.InBytes*n,
-			batchMsg{Proxy: proxy, Tenant: r0.Tenant, Class: r0.Class, N: n})
-		bd := reply.Recv(p)
-		now := p.Now()
-		if f.rec.Enabled() {
-			bsz := trace.Int64Attr("batch", n)
-			for _, r := range buf {
-				f.rec.Add(trace.Span{
-					Node: node, Queue: "serve", Kind: KindServe,
-					Label: t.spec.Name + "/" + class.Name,
-					Start: r.Arrive, End: now,
-					Attrs: []trace.Attr{bsz, trace.Int64Attr("wait_ns", int64(r.Issue-r.Arrive))},
-				})
+			batchMsg{Proxy: proxy, Tenant: r0.Tenant, Class: r0.Class, N: n, Epoch: slot.seq})
+		for {
+			bd := reply.Recv(p)
+			if bd.Epoch != slot.seq {
+				continue // reply to a batch already settled; drop
 			}
+			now := p.Now()
+			if bd.Aborted {
+				f.requeue(now, buf)
+				if !f.work.Empty() {
+					f.work.WakeAll(k)
+				}
+				break
+			}
+			if f.rec.Enabled() {
+				bsz := trace.Int64Attr("batch", n)
+				for _, r := range buf {
+					f.rec.Add(trace.Span{
+						Node: node, Queue: "serve", Kind: KindServe,
+						Label: t.spec.Name + "/" + class.Name,
+						Start: r.Arrive, End: now,
+						Attrs: []trace.Attr{bsz, trace.Int64Attr("wait_ns", int64(r.Issue-r.Arrive))},
+					})
+				}
+			}
+			for _, r := range buf {
+				f.Complete(now, r, bd.OK)
+			}
+			break
 		}
-		for _, r := range buf {
-			f.Complete(now, r, bd.OK)
-		}
+		slot.busy = false
 		f.checkDone(k)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"cashmere/internal/core"
+	"cashmere/internal/ocl"
 	"cashmere/internal/satin"
 	"cashmere/internal/simnet"
 	"cashmere/internal/trace"
@@ -66,7 +67,40 @@ func Run(cl *core.Cluster, cfg Config) (*Report, error) {
 	var proxies []proxySlot
 	for n := 1; n < rt.Nodes(); n++ {
 		for i := 0; i < slots(n); i++ {
-			proxies = append(proxies, proxySlot{node: n, proxy: disp.newProxy(k)})
+			proxies = append(proxies, proxySlot{node: n, proxy: disp.newProxy(k, n)})
+		}
+	}
+
+	// Elastic capacity: the autoscaler and/or the chaos harness share one
+	// node-0 controller holding per-node phases and billing.
+	var (
+		el          *elastic
+		asCfg       AutoscaleConfig
+		chaosCfg    ChaosConfig
+		chaosScript []ChaosEvent
+	)
+	if cfg.Autoscale != nil || cfg.Chaos != nil {
+		initial := rt.Nodes()
+		if cfg.Autoscale != nil {
+			asCfg = cfg.Autoscale.norm(rt.Nodes())
+			initial = asCfg.Initial
+		}
+		el = newElastic(fe, disp, rt, slots, initial)
+		if cfg.Chaos != nil {
+			chaosCfg = cfg.Chaos.norm()
+			if la := rt.Scheduler().Lookahead(); simnet.Duration(chaosCfg.PropDelay) < la {
+				return nil, fmt.Errorf("serve: chaos PropDelay %v below scheduler lookahead %v", chaosCfg.PropDelay, la)
+			}
+			chaosScript = chaosCfg.script(rt.Nodes(), cfg.Horizon)
+		}
+	}
+	// Device handles for straggler injection, captured before the run; the
+	// devices themselves are only ever touched from their own kernels.
+	var devs [][]*ocl.Device
+	if len(chaosScript) > 0 {
+		devs = make([][]*ocl.Device, rt.Nodes())
+		for n := 0; n < rt.Nodes(); n++ {
+			devs[n] = cl.NodeState(n).Devices
 		}
 	}
 
@@ -87,6 +121,12 @@ func Run(cl *core.Cluster, cfg Config) (*Report, error) {
 			ps := ps
 			rt.GoOn(0, func(c *satin.Context) { disp.proxyLoop(c, ps.node, ps.proxy) })
 		}
+		if el != nil && cfg.Autoscale != nil {
+			rt.GoOn(0, func(c *satin.Context) { el.autoscaleLoop(c, asCfg) })
+		}
+		if el != nil && len(chaosScript) > 0 {
+			rt.GoOn(0, func(c *satin.Context) { el.chaosLoop(c, chaosCfg, chaosScript, devs) })
+		}
 		fe.done.Await(ctx.Proc())
 		return nil
 	})
@@ -101,6 +141,12 @@ func Run(cl *core.Cluster, cfg Config) (*Report, error) {
 func (f *Frontend) generate(p *simnet.Proc, tenant int) {
 	k := p.Kernel()
 	spec := &f.cfg.Tenants[tenant]
+	if spec.Arrival.Kind == Replay {
+		f.replay(p, tenant)
+		f.gensLive--
+		f.checkDone(k)
+		return
+	}
 	a := newArrival(spec.Arrival, k.Rand())
 	horizon := simnet.Time(f.cfg.Horizon)
 	t := &f.tenants[tenant]
@@ -154,6 +200,10 @@ func (f *Frontend) checkDone(k *simnet.Kernel) {
 	if f.done != nil && !f.done.Done() && f.Drained() {
 		f.done.Complete(struct{}{})
 		f.work.WakeAll(k)
+		if f.el != nil {
+			// Slots gated on out-of-rotation nodes observe done and exit.
+			f.el.wakeGates(k)
+		}
 	}
 }
 
@@ -273,6 +323,28 @@ type TenantReport struct {
 	Max          int64 // ns
 }
 
+// ElasticReport is the capacity slice of a serving report, present when the
+// autoscaler or the chaos harness ran.
+type ElasticReport struct {
+	// NodeSeconds is the provisioned node-time integral: every node bills
+	// while Active, Draining or Suspended; Parked and Dead nodes are free.
+	NodeSeconds float64
+	// StaticNodeSeconds is the fixed-fleet baseline, nodes × elapsed.
+	StaticNodeSeconds float64
+	ScaleOuts         int64
+	ScaleIns          int64
+	// DrainsForced counts scale-in drains whose grace expired with a batch
+	// still in flight (aborted and re-queued).
+	DrainsForced int64
+	// Migrated counts requests re-queued off drained/suspended/failed nodes;
+	// none of them is lost or double-counted.
+	Migrated int64
+	// Suspends/Crashes count nodes taken out by the failure detector
+	// (partition suspensions are transient, crashes terminal).
+	Suspends int64
+	Crashes  int64
+}
+
 // Report is the outcome of one serving experiment.
 type Report struct {
 	Horizon simnet.Duration
@@ -302,6 +374,9 @@ type Report struct {
 	// ShedFraction is sheds (both causes, net of successful retries)
 	// over offered arrivals.
 	ShedFraction float64
+
+	// Elastic is the capacity slice (nil for fixed fleets).
+	Elastic *ElasticReport
 }
 
 // report assembles the Report from the frontend's accounting.
@@ -356,6 +431,18 @@ func (f *Frontend) report(cfg Config, end simnet.Time) *Report {
 	if r.Offered > 0 {
 		r.ShedFraction = float64(r.ShedThrottle+r.ShedQueue) / float64(r.Offered)
 	}
+	if el := f.el; el != nil {
+		r.Elastic = &ElasticReport{
+			NodeSeconds:       el.nodeSeconds(end),
+			StaticNodeSeconds: float64(len(el.nodes)) * end.Seconds(),
+			ScaleOuts:         el.ScaleOuts,
+			ScaleIns:          el.ScaleIns,
+			DrainsForced:      el.DrainsForced,
+			Migrated:          el.Migrated,
+			Suspends:          el.Suspends,
+			Crashes:           el.Crashes,
+		}
+	}
 	return r
 }
 
@@ -383,6 +470,16 @@ func (r *Report) FillMetrics(m *trace.Metrics) {
 	m.SetFloat("serve.throughput_rps", r.ThroughputRPS, "req/s")
 	m.SetFloat("serve.goodput_rps", r.GoodputRPS, "req/s")
 	m.SetFloat("serve.shed_fraction", r.ShedFraction, "")
+	if e := r.Elastic; e != nil {
+		m.SetFloat("serve.node_seconds", e.NodeSeconds, "s")
+		m.SetFloat("serve.static_node_seconds", e.StaticNodeSeconds, "s")
+		m.SetInt("serve.scale_outs", e.ScaleOuts)
+		m.SetInt("serve.scale_ins", e.ScaleIns)
+		m.SetInt("serve.drains_forced", e.DrainsForced)
+		m.SetInt("serve.migrated", e.Migrated)
+		m.SetInt("serve.suspends", e.Suspends)
+		m.SetInt("serve.node_crashes", e.Crashes)
+	}
 	for _, t := range r.Tenants {
 		p := "serve.tenant." + t.Name
 		m.SetInt(p+".offered", t.Offered)
@@ -412,6 +509,11 @@ func (r *Report) Format() string {
 	fmt.Fprintf(&b, "latency p50 %v  p95 %v  p99 %v  mean %v  max %v\n",
 		simnet.Duration(r.P50), simnet.Duration(r.P95), simnet.Duration(r.P99),
 		simnet.Duration(r.Mean), simnet.Duration(r.Max))
+	if e := r.Elastic; e != nil {
+		fmt.Fprintf(&b, "elastic node-seconds %.6g (static %.6g)  scale-out %d  scale-in %d  forced %d  migrated %d  suspends %d  crashes %d\n",
+			e.NodeSeconds, e.StaticNodeSeconds, e.ScaleOuts, e.ScaleIns,
+			e.DrainsForced, e.Migrated, e.Suspends, e.Crashes)
+	}
 	fmt.Fprintf(&b, "%-14s %9s %9s %9s %9s %8s %9s %7s %12s %12s %12s\n",
 		"tenant", "offered", "admitted", "shed", "complete", "errors", "slo_ok", "maxq", "p50", "p95", "p99")
 	for _, t := range r.Tenants {

@@ -88,6 +88,10 @@ const (
 	// Diurnal modulates the Poisson rate sinusoidally over virtual time
 	// (a compressed day), so the run sweeps through under- and overload.
 	Diurnal
+	// Replay offers requests at the exact offsets of an explicit schedule
+	// (ArrivalSpec.Trace), optionally tiled every TracePeriod — the
+	// trace-replay workload source (see replay.go).
+	Replay
 )
 
 func (k ArrivalKind) String() string {
@@ -96,6 +100,8 @@ func (k ArrivalKind) String() string {
 		return "mmpp"
 	case Diurnal:
 		return "diurnal"
+	case Replay:
+		return "replay"
 	default:
 		return "poisson"
 	}
@@ -110,6 +116,8 @@ func ArrivalKindFromString(s string) (ArrivalKind, error) {
 		return MMPP, nil
 	case "diurnal":
 		return Diurnal, nil
+	case "replay":
+		return Replay, nil
 	}
 	return Poisson, fmt.Errorf("serve: unknown arrival process %q", s)
 }
@@ -132,6 +140,11 @@ type ArrivalSpec struct {
 	// Swing (Diurnal) is the modulation amplitude as a fraction of the
 	// mean rate (0..1): rate(t) = Rate * (1 + Swing*sin(2πt/Period)).
 	Swing float64
+	// Trace (Replay) is the explicit arrival schedule, sorted by offset.
+	Trace []TraceEvent
+	// TracePeriod (Replay) tiles the trace: after each pass the schedule
+	// repeats shifted by this period until the horizon. Zero plays it once.
+	TracePeriod simnet.Duration
 }
 
 // TenantSpec configures one tenant of the service.
@@ -179,8 +192,17 @@ type Config struct {
 	Retry bool
 	// RetryAfter is the retry-after hint attached to queue-overload sheds
 	// (throttle sheds compute the hint from the token bucket). Zero means
-	// 1ms.
+	// 1ms. When nodes are draining or down, the hint is stretched by the
+	// inactive slot fraction (see elastic.scaleHint).
 	RetryAfter simnet.Duration
+	// Autoscale, when non-nil, enables the elastic autoscaler: nodes are
+	// added under queue/latency pressure and drained back out when idle
+	// (see AutoscaleConfig).
+	Autoscale *AutoscaleConfig
+	// Chaos, when non-nil, enables deterministic fault injection: network
+	// partitions, device stragglers and correlated crashes (see
+	// ChaosConfig).
+	Chaos *ChaosConfig
 }
 
 // Workload pairs the kernel sets a serving experiment must register with
