@@ -38,6 +38,7 @@ import (
 	"cashmere/internal/mcl/hdl"
 	"cashmere/internal/mcl/interp"
 	"cashmere/internal/mcl/mcpl"
+	"cashmere/internal/mcl/tune"
 	"cashmere/internal/satin"
 	"cashmere/internal/serve"
 	"cashmere/internal/simnet"
@@ -166,6 +167,45 @@ func DefaultChaos(seed int64) *ChaosConfig { return serve.DefaultChaos(seed) }
 // from a private RNG (the "-replay synth" source of cashmere-serve).
 func SynthesizeTrace(tenants []TenantSpec, horizon time.Duration, seed int64) map[string][]TraceEvent {
 	return serve.SynthesizeTrace(tenants, horizon, seed)
+}
+
+// Auto-tuning (internal/mcl/tune): the automated counterpart of stepwise
+// refinement. Tune searches version level x launch geometry per (kernel,
+// device) on the simulated hardware; winners persist in a byte-stable cache
+// that Config.Tuning feeds back into cluster initialization and
+// ServeWorkload.ApplyTuning into serving cost hints and batch caps. See
+// cmd/mclc -tune, cashmere-run -tune-cache and DESIGN.md, "Auto-tuning".
+type (
+	// TuneCache is the persistent auto-tuning cache (Config.Tuning).
+	TuneCache = tune.Cache
+	// TuneRequest describes one tuning problem: kernel set, device and a
+	// representative launch.
+	TuneRequest = tune.Request
+	// TuneEntry is a cached winning configuration.
+	TuneEntry = tune.Entry
+	// TuneResult is a full search outcome: the entry plus every candidate.
+	TuneResult = tune.Result
+)
+
+// NewTuneCache returns an empty auto-tuning cache.
+func NewTuneCache() *TuneCache { return tune.NewCache() }
+
+// LoadTuneCache reads a tuning-cache file; a missing file yields an empty
+// cache.
+func LoadTuneCache(path string) (*TuneCache, error) { return tune.Load(path) }
+
+// TuneKernel runs the two-phase auto-tuning search (model-guided pruning,
+// then measured refinement on a private simulated device) for one request.
+func TuneKernel(req TuneRequest) (*TuneResult, error) { return tune.Tune(req, hdl.Library()) }
+
+// TuneKey derives the cache key of a (kernel set, device-name) pair; it
+// folds in the kernel sources' fingerprint, so edits miss cleanly.
+func TuneKey(ks *KernelSet, dev string) (string, error) {
+	spec, err := device.Lookup(dev)
+	if err != nil {
+		return "", err
+	}
+	return tune.Key(ks, spec), nil
 }
 
 // NewCluster builds a simulated Cashmere cluster.

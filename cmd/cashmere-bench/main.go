@@ -9,27 +9,40 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 
 	"cashmere/internal/bench"
+	"cashmere/internal/core"
+	"cashmere/internal/mcl/tune"
 )
+
+// tuneOpts carries the tune experiment's flags.
+var tuneOpts struct {
+	json      string
+	survivors int
+}
 
 var experiments = []string{
 	"tab2", "fig6",
 	"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-	"tab3", "fig15", "fig16", "fig17",
+	"tab3", "fig15", "fig16", "fig17", "tune",
 }
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment id (tab2, fig6..fig17, tab3) or all")
+	exp := flag.String("experiment", "all", "experiment id (tab2, fig6..fig17, tab3, tune) or all")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"number of simulations to run concurrently (1 = sequential); output is identical at any setting")
-	partitionsF := flag.Int("partitions", 1,
-		"split each scalability simulation into N conservatively synchronized partitions (intra-simulation parallelism; output is identical at any setting)")
+	partitionsF := flag.Int("partitions", 0,
+		"split each scalability simulation into N conservatively synchronized partitions (intra-simulation parallelism; output is identical at any setting; 0 = auto from GOMAXPROCS and node count)")
+	tuneJSON := flag.String("tune-json", "",
+		"with -experiment tune, also write the sweep as the BENCH_kernels.json \"tuning\" section to this file")
+	tuneSurv := flag.Int("tune-survivors", 0,
+		"measured-refinement budget of the tune experiment (0 = tuner default)")
 	traceF := flag.String("trace", "",
 		"write a Chrome trace of the heterogeneous k-means run (Figs. 16/17) and exit")
 	metrics := flag.Bool("metrics", false,
@@ -37,6 +50,13 @@ func main() {
 	flag.Parse()
 	bench.SetParallelism(*parallel)
 	partitions = *partitionsF
+	if partitions == 0 {
+		// Auto: the scalability studies simulate clusters of up to 64 nodes;
+		// size by the host's processors (clamped inside AutoPartitions).
+		partitions = core.AutoPartitions(16, runtime.GOMAXPROCS(0))
+	}
+	tuneOpts.json = *tuneJSON
+	tuneOpts.survivors = *tuneSurv
 
 	if *list {
 		for _, e := range experiments {
@@ -156,6 +176,27 @@ func runExperiment(id string) error {
 			return err
 		}
 		fmt.Print(s)
+	case "tune":
+		points, err := bench.TuneSweep(bench.TuneDevices, tune.NewCache(), tuneOpts.survivors)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTuneTable(points))
+		if tuneOpts.json != "" {
+			doc := map[string]any{
+				"description": "auto-tuned vs hand-picked kernel configurations (internal/mcl/tune); regenerate with: go run ./cmd/cashmere-bench -experiment tune -tune-json <file>",
+				"devices":     bench.TuneDevices,
+				"points":      points,
+			}
+			buf, err := json.MarshalIndent(doc, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(tuneOpts.json, append(buf, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", tuneOpts.json)
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q (use -list)", id)
 	}

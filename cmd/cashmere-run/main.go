@@ -12,12 +12,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"cashmere/internal/apps"
+	"cashmere/internal/bench"
 	"cashmere/internal/core"
+	"cashmere/internal/mcl/codegen"
+	"cashmere/internal/mcl/hdl"
+	"cashmere/internal/mcl/tune"
 	"cashmere/internal/trace"
 )
 
@@ -34,10 +39,12 @@ func main() {
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		legacy  = flag.Bool("legacy-sched", false,
 			"use the two-switch event scheduler instead of direct handoff (same trajectory, for comparison)")
-		partitions = flag.Int("partitions", 1,
-			"split the simulation into N conservatively synchronized partitions (same trajectory, less wall-clock time)")
+		partitions = flag.Int("partitions", 0,
+			"split the simulation into N conservatively synchronized partitions (same trajectory, less wall-clock time; 0 = auto from GOMAXPROCS and node count)")
 		oracle = flag.Bool("pdes-oracle", false,
 			"step partition windows sequentially instead of concurrently (the determinism oracle; same trajectory)")
+		tuneCacheF = flag.String("tune-cache", "",
+			"auto-tune the app's kernel for every device type before the run (internal/mcl/tune) and persist the winners in this cache file")
 	)
 	flag.Parse()
 
@@ -45,11 +52,34 @@ func main() {
 		"satin": apps.Satin, "unopt": apps.CashmereUnoptimized, "opt": apps.CashmereOptimized,
 	}[*variant]
 
+	// Resolve the application's kernel set and host program before building
+	// the cluster, so the tuner can search against the exact kernel sources
+	// that will run.
+	var ks *codegen.KernelSet
+	var run func(cl *core.Cluster) (apps.Result, error)
+	var err error
+	switch *app {
+	case "raytracer":
+		ks, err = apps.RaytracerKernels(v)
+		run = func(cl *core.Cluster) (apps.Result, error) { return apps.RunRaytracer(cl, apps.PaperRaytracer(), v) }
+	case "matmul":
+		ks, err = apps.MatmulKernels(v)
+		run = func(cl *core.Cluster) (apps.Result, error) { return apps.RunMatmul(cl, apps.PaperMatmul(), v) }
+	case "kmeans":
+		ks, err = apps.KMeansKernels(v)
+		run = func(cl *core.Cluster) (apps.Result, error) { return apps.RunKMeans(cl, apps.PaperKMeans(), v) }
+	case "nbody":
+		ks, err = apps.NBodyKernels(v)
+		run = func(cl *core.Cluster) (apps.Result, error) { return apps.RunNBody(cl, apps.PaperNBody(), v) }
+	default:
+		die(fmt.Errorf("unknown application %q", *app))
+	}
+	die(err)
+
 	cfg := core.DefaultConfig(*nodes, *dev)
 	cfg.Seed = *seed
 	cfg.Record = *gantt || *traceF != ""
 	cfg.TraceSched = *traceF != ""
-	cfg.Partitions = *partitions
 	cfg.Oracle = *oracle
 	if v == apps.Satin {
 		cfg.Satin.WorkersPerNode = 8
@@ -62,37 +92,54 @@ func main() {
 		die(err)
 		cfg.Nodes = specs
 	}
+	cfg.Partitions = *partitions
+	if cfg.Partitions == 0 {
+		if cfg.Record {
+			cfg.Partitions = 1 // tracing requires the sequential kernel
+		} else {
+			cfg.Partitions = core.AutoPartitions(len(cfg.Nodes), runtime.GOMAXPROCS(0))
+		}
+	}
+
+	if *tuneCacheF != "" {
+		// Tune the kernel once per distinct device type of the cluster,
+		// reusing (and extending) the persistent cache. The search runs on
+		// private simulations before the cluster exists, so trajectories are
+		// identical at every -partitions setting.
+		cache, e := tune.Load(*tuneCacheF)
+		die(e)
+		h := hdl.Library()
+		seen := map[string]bool{}
+		for _, nspec := range cfg.Nodes {
+			for _, leaf := range nspec.Devices {
+				if seen[leaf] {
+					continue
+				}
+				seen[leaf] = true
+				req, e := bench.TuneRequest(*app, leaf)
+				die(e)
+				req.Set = ks // tune the exact variant being run
+				entry, e := cache.TuneOnce(req, h)
+				die(e)
+				local := ""
+				if len(entry.Local) > 0 {
+					local = fmt.Sprintf(" local %v", entry.Local)
+				}
+				fmt.Printf("tuned %s on %s: level %s%s (%d ns vs %d ns hand-picked)\n",
+					ks.Name, leaf, entry.Level, local, entry.ServiceNs, entry.BaselineNs)
+			}
+		}
+		die(cache.Save(*tuneCacheF))
+		cfg.Tuning = cache
+	}
+
 	cl, err := core.NewCluster(cfg)
 	die(err)
 	if *legacy {
 		cl.Kernel().DisableDirectHandoff()
 	}
-
-	var res apps.Result
-	switch *app {
-	case "raytracer":
-		ks, e := apps.RaytracerKernels(v)
-		die(e)
-		die(cl.Register(ks))
-		res, err = apps.RunRaytracer(cl, apps.PaperRaytracer(), v)
-	case "matmul":
-		ks, e := apps.MatmulKernels(v)
-		die(e)
-		die(cl.Register(ks))
-		res, err = apps.RunMatmul(cl, apps.PaperMatmul(), v)
-	case "kmeans":
-		ks, e := apps.KMeansKernels(v)
-		die(e)
-		die(cl.Register(ks))
-		res, err = apps.RunKMeans(cl, apps.PaperKMeans(), v)
-	case "nbody":
-		ks, e := apps.NBodyKernels(v)
-		die(e)
-		die(cl.Register(ks))
-		res, err = apps.RunNBody(cl, apps.PaperNBody(), v)
-	default:
-		die(fmt.Errorf("unknown application %q", *app))
-	}
+	die(cl.Register(ks))
+	res, err := run(cl)
 	die(err)
 
 	fmt.Printf("%s (%s) on %d nodes: %v virtual, %.0f GFLOPS\n",

@@ -37,6 +37,10 @@ import (
 
 	"cashmere/internal/bench"
 	"cashmere/internal/core"
+	"cashmere/internal/device"
+	"cashmere/internal/mcl/codegen"
+	"cashmere/internal/mcl/hdl"
+	"cashmere/internal/mcl/tune"
 	"cashmere/internal/serve"
 	"cashmere/internal/simnet"
 )
@@ -78,10 +82,19 @@ func main() {
 	out := flag.String("out", "BENCH_serve.json", "sweep output path")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"number of sweep points simulated concurrently; output is identical at any setting")
-	partitions := flag.Int("partitions", 1,
-		"split each simulation into N conservatively synchronized partitions; output is identical at any setting")
+	partitions := flag.Int("partitions", 0,
+		"split each simulation into N conservatively synchronized partitions; output is identical at any setting (0 = auto from GOMAXPROCS and node count)")
+	tuneF := flag.Bool("tune", false,
+		"auto-tune every workload kernel for the device before serving: tuned levels and launch geometries replace the hand-picked compiles, and per-class batch caps derive from the tuned costs")
 	flag.Parse()
 	bench.SetParallelism(*parallel)
+	if *partitions == 0 {
+		if *traceF != "" {
+			*partitions = 1 // tracing requires the sequential kernel
+		} else {
+			*partitions = core.AutoPartitions(*nodes, runtime.GOMAXPROCS(0))
+		}
+	}
 
 	if *sweepAuto {
 		if err := runAutoscaleSweep(*nodes, *dev, *duration, *seed, *partitions); err != nil {
@@ -97,7 +110,7 @@ func main() {
 	}
 	opts := runOpts{
 		autoscale: *autoscale, chaos: *chaos, replay: *replay,
-		metrics: *metrics, traceF: *traceF,
+		metrics: *metrics, traceF: *traceF, tune: *tuneF,
 	}
 	if err := runOnce(*nodes, *dev, *duration, *load, *arrival, *seed, *partitions, opts); err != nil {
 		fail(err)
@@ -111,6 +124,7 @@ type runOpts struct {
 	replay    string
 	metrics   bool
 	traceF    string
+	tune      bool
 }
 
 func fail(err error) {
@@ -130,6 +144,28 @@ func runOnce(nodes int, dev string, horizon time.Duration, load float64, arrival
 		}
 		for i := range w.Tenants {
 			w.Tenants[i].Arrival.Kind = kind
+		}
+	}
+	var tuning *tune.Cache
+	if opts.tune {
+		// Tune every workload kernel for the device, refine the per-class
+		// cost hints and batch caps from the winners, and hand the cache to
+		// the cluster so initialization compiles the tuned forms. Runs before
+		// CapacityRPS so offered load is sized against tuned costs.
+		tuning = tune.NewCache()
+		h := hdl.Library()
+		slo := serve.DefaultConfig(w).SLO
+		for _, ks := range w.KernelSets {
+			req, err := tuneRequestFor(w, ks, dev)
+			if err != nil {
+				return err
+			}
+			if _, err := tuning.TuneOnce(req, h); err != nil {
+				return err
+			}
+		}
+		if err := w.ApplyTuning(tuning, dev, slo); err != nil {
+			return err
 		}
 	}
 	capacity, err := w.CapacityRPS(dev, nodes)
@@ -160,6 +196,7 @@ func runOnce(nodes int, dev string, horizon time.Duration, load float64, arrival
 	ccfg := core.DefaultConfig(nodes, dev)
 	ccfg.Seed = seed
 	ccfg.Partitions = partitions
+	ccfg.Tuning = tuning
 	// Tracing is the only consumer that needs the recorder; keeping it off
 	// otherwise keeps the -metrics dump free of recorder counters and thus
 	// byte-identical across -partitions settings.
@@ -207,6 +244,31 @@ func runOnce(nodes int, dev string, horizon time.Duration, load float64, arrival
 		fmt.Print(m.Format())
 	}
 	return nil
+}
+
+// tuneRequestFor builds a tuning request for one workload kernel, using the
+// heaviest job class of that kernel (largest input) as the representative
+// launch.
+func tuneRequestFor(w *serve.Workload, ks *codegen.KernelSet, dev string) (tune.Request, error) {
+	spec, err := device.Lookup(dev)
+	if err != nil {
+		return tune.Request{}, err
+	}
+	req := tune.Request{Set: ks, Device: spec}
+	for _, t := range w.Tenants {
+		for _, c := range t.Mix {
+			if c.Graph != nil || c.Kernel != ks.Name {
+				continue
+			}
+			if req.Params == nil || c.InBytes > req.InBytes {
+				req.Params, req.InBytes, req.OutBytes = c.Params, c.InBytes, c.OutBytes
+			}
+		}
+	}
+	if req.Params == nil {
+		return tune.Request{}, fmt.Errorf("no job class uses kernel %q", ks.Name)
+	}
+	return req, nil
 }
 
 func runSweep(nodes int, dev string, horizon time.Duration, seed int64, partitions int, out string) error {

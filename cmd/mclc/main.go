@@ -6,6 +6,7 @@
 // Usage:
 //
 //	mclc -kernel matmul -target gtx480 [-feedback] [-emit] [-params n=1024,m=1024,p=1024] file.mcpl
+//	mclc -tune -target gtx480 -params n=1024,m=1024,p=1024 matmul_perfect.mcpl matmul_gpu.mcpl
 //	mclc -list-hardware
 package main
 
@@ -23,6 +24,7 @@ import (
 	"cashmere/internal/mcl/hdl"
 	"cashmere/internal/mcl/mcpl"
 	"cashmere/internal/mcl/translate"
+	"cashmere/internal/mcl/tune"
 )
 
 func main() {
@@ -34,6 +36,12 @@ func main() {
 		doCost = flag.Bool("cost", false, "print the analysis report and modeled cost")
 		params = flag.String("params", "", "launch parameters, e.g. n=1024,m=1024")
 		listHW = flag.Bool("list-hardware", false, "list the hardware-description hierarchy and exit")
+
+		doTune    = flag.Bool("tune", false, "auto-tune: search version level x launch geometry for -target (a device); accepts one file per kernel version")
+		inBytes   = flag.Int64("inbytes", 0, "with -tune, the host->device bytes of one launch")
+		outBytes  = flag.Int64("outbytes", 0, "with -tune, the device->host bytes of one launch")
+		survivors = flag.Int("survivors", 0, "with -tune, the measured-refinement budget (0 = default)")
+		cacheF    = flag.String("tune-cache", "", "with -tune, persistent tuning-cache file to consult and update")
 	)
 	flag.Parse()
 
@@ -55,6 +63,16 @@ func main() {
 			}
 		}
 		dump(h.Root, 0)
+		return
+	}
+
+	if *doTune {
+		if flag.NArg() < 1 {
+			fmt.Fprintln(os.Stderr, "usage: mclc -tune [flags] file.mcpl [more versions...]")
+			flag.Usage()
+			os.Exit(2)
+		}
+		runTune(h, *kernel, *target, parseParams(*params), *inBytes, *outBytes, *survivors, *cacheF, flag.Args())
 		return
 	}
 
@@ -82,18 +100,7 @@ func main() {
 	die(err)
 	die(translate.ValidateLevel(prog, name, h))
 
-	p := map[string]int64{}
-	if *params != "" {
-		for _, kv := range strings.Split(*params, ",") {
-			parts := strings.SplitN(kv, "=", 2)
-			if len(parts) != 2 {
-				die(fmt.Errorf("bad parameter %q", kv))
-			}
-			v, err := strconv.ParseInt(parts[1], 10, 64)
-			die(err)
-			p[parts[0]] = v
-		}
-	}
+	p := parseParams(*params)
 
 	var spec *device.Spec
 	if s, err := device.Lookup(*target); err == nil {
@@ -141,6 +148,100 @@ func main() {
 			fmt.Printf("  warning: %s\n", w)
 		}
 	}
+}
+
+func parseParams(s string) map[string]int64 {
+	p := map[string]int64{}
+	if s == "" {
+		return p
+	}
+	for _, kv := range strings.Split(s, ",") {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			die(fmt.Errorf("bad parameter %q", kv))
+		}
+		v, err := strconv.ParseInt(parts[1], 10, 64)
+		die(err)
+		p[parts[0]] = v
+	}
+	return p
+}
+
+// runTune is the -tune mode: build a kernel set from one source file per
+// version, search version level x launch geometry for the target device, and
+// print the candidate table and the winner. With -tune-cache the winner is
+// read from / written to the persistent cache.
+func runTune(h *hdl.Hierarchy, kernel, target string, params map[string]int64, in, out int64, survivors int, cacheF string, files []string) {
+	var sources []string
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		die(err)
+		sources = append(sources, string(src))
+	}
+	name := kernel
+	if name == "" {
+		prog, err := mcpl.Parse(sources[0])
+		die(err)
+		ks := prog.Kernels()
+		if len(ks) != 1 {
+			die(fmt.Errorf("%s defines %d kernels; use -kernel", files[0], len(ks)))
+		}
+		name = ks[0].Name
+	}
+	ks, err := codegen.NewKernelSet(name, sources...)
+	die(err)
+	spec, err := device.Lookup(target)
+	if err != nil {
+		die(fmt.Errorf("-tune needs a device leaf as -target: %w", err))
+	}
+
+	req := tune.Request{
+		Set: ks, Device: spec, Params: params,
+		InBytes: in, OutBytes: out, MaxSurvivors: survivors,
+	}
+	res, err := tune.Tune(req, h)
+	die(err)
+	e := res.Entry
+
+	if cacheF != "" {
+		cache, err := tune.Load(cacheF)
+		die(err)
+		cached, err := cache.TuneOnce(req, h)
+		die(err)
+		e = *cached
+		die(cache.Save(cacheF))
+	}
+
+	fmt.Printf("tuning %s on %s: %d configurations, %d pruned, %d measured\n",
+		name, spec.Name, e.Evaluated, e.Pruned, e.Refined)
+	fmt.Printf("%-10s %-12s %14s %14s  %s\n", "level", "local", "model_ns", "measured_ns", "")
+	for _, c := range res.Candidates {
+		local := "default"
+		if len(c.Local) > 0 {
+			local = fmt.Sprint(c.Local)
+		}
+		note := ""
+		if c.Pruned {
+			note = "pruned"
+		} else if c.ServiceNs == 0 {
+			note = "over budget"
+		}
+		measured := "-"
+		if c.ServiceNs > 0 {
+			measured = fmt.Sprint(c.ServiceNs)
+		}
+		fmt.Printf("%-10s %-12s %14d %14s  %s\n", c.Level, local, c.ModelNs, measured, note)
+	}
+	local := "default geometry"
+	if len(e.Local) > 0 {
+		local = fmt.Sprintf("local %v", e.Local)
+	}
+	speedup := 1.0
+	if e.ServiceNs > 0 {
+		speedup = float64(e.BaselineNs) / float64(e.ServiceNs)
+	}
+	fmt.Printf("winner: level %s, %s — %d ns vs %d ns hand-picked (%.2fx)\n",
+		e.Level, local, e.ServiceNs, e.BaselineNs, speedup)
 }
 
 func die(err error) {

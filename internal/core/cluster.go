@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"time"
 
+	"cashmere/internal/device"
 	"cashmere/internal/mcl/codegen"
 	"cashmere/internal/mcl/hdl"
+	"cashmere/internal/mcl/tune"
 	"cashmere/internal/network"
 	"cashmere/internal/ocl"
 	"cashmere/internal/satin"
@@ -58,6 +60,13 @@ type Config struct {
 	// data (the launch must supply Args). Used at verification scale; paper-
 	// scale runs leave it off and only charge modeled time.
 	Verify bool
+	// Tuning, when non-nil, is the auto-tuning cache (internal/mcl/tune)
+	// consulted at initialization: a kernel with a cached winner for a
+	// device compiles at the tuned level with the tuned launch geometry
+	// under the geometry-aware cost model, instead of the MostSpecific
+	// default. The launch hot path is untouched — it reads the pre-compiled
+	// tuned form from the same per-node table as always.
+	Tuning *tune.Cache
 }
 
 // DefaultConfig returns a homogeneous cluster of n nodes with one device of
@@ -239,12 +248,14 @@ func (cl *Cluster) Register(ks *codegen.KernelSet) error {
 // initialize compiles, on every node, the most specific version of every
 // registered kernel for each of the node's devices (Sec. III-B: the master
 // broadcasts run-time information and each node compiles for its devices).
+// With a tuning cache configured, cached winners override the default
+// level/geometry choice per (kernel, device).
 func (cl *Cluster) initialize() error {
 	for _, ns := range cl.nodes {
 		for name, ks := range cl.registry {
 			var compiled []*codegen.Compiled
 			for _, dev := range ns.Devices {
-				c, err := ks.Compile(dev.Spec().Leaf, cl.h)
+				c, err := cl.compileFor(ks, dev.Spec())
 				if err != nil {
 					return fmt.Errorf("core: node %d, device %s: %w", ns.ID, dev.Name(), err)
 				}
@@ -255,6 +266,49 @@ func (cl *Cluster) initialize() error {
 	}
 	cl.initialized = true
 	return nil
+}
+
+// compileFor compiles one kernel set for one device, applying the tuning
+// cache's winner (level + launch geometry, geometry-aware cost model) when
+// one exists. A cache miss falls back to the classic MostSpecific compile
+// so untuned runs are bit-for-bit unchanged.
+func (cl *Cluster) compileFor(ks *codegen.KernelSet, spec *device.Spec) (*codegen.Compiled, error) {
+	if cl.cfg.Tuning != nil {
+		if e, ok := cl.cfg.Tuning.Lookup(tune.Key(ks, spec)); ok {
+			c, err := ks.CompileAt(e.Level, spec.Leaf, cl.h)
+			if err != nil {
+				return nil, err
+			}
+			if len(e.Local) > 0 {
+				if err := c.SetLaunchExtents(e.Local); err != nil {
+					return nil, err
+				}
+			}
+			c.EnableGeometryCost()
+			return c, nil
+		}
+	}
+	return ks.Compile(spec.Leaf, cl.h)
+}
+
+// AutoPartitions picks the intra-simulation partition count used when a
+// CLI's -partitions flag is 0 (auto): one partition per processor, never
+// more than the node count (a partition without nodes is pure overhead),
+// capped at 8 (beyond that the conservative-window synchronization cost
+// outweighs the extra parallelism at the cluster sizes simulated here), and
+// at least 1 — a single-core host degrades to the sequential kernel.
+func AutoPartitions(nodes, procs int) int {
+	p := procs
+	if p > nodes {
+		p = nodes
+	}
+	if p > 8 {
+		p = 8
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
 }
 
 // Run initializes the cluster (master broadcast of run-time information,

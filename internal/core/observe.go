@@ -91,6 +91,16 @@ func (cl *Cluster) CollectMetrics() *trace.Metrics {
 	m.SetInt("core.cost_cache_hits", costHits)
 	m.SetInt("core.cost_cache_misses", costMisses)
 	m.SetFloat("core.flops_charged", cl.FlopsCharged(), "flop")
+	// Auto-tuning cache counters. Tuning happens before the partitioned run
+	// (search and initialization lookups are layout-independent), so these
+	// are byte-identical at any -partitions count like everything above.
+	var tuneHits, tuneMisses, tuneEvals int64
+	if cl.cfg.Tuning != nil {
+		tuneHits, tuneMisses, tuneEvals = cl.cfg.Tuning.Counters()
+	}
+	m.SetInt("tune.cache_hits", tuneHits)
+	m.SetInt("tune.cache_misses", tuneMisses)
+	m.SetInt("tune.evaluations", tuneEvals)
 
 	m.MergeCounters(cl.rec)
 	return m

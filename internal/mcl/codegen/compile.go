@@ -19,12 +19,14 @@ import (
 type KernelSet struct {
 	Name     string
 	Versions map[string]*mcpl.Program // level -> program containing the kernel
+
+	sources map[string]string // level -> source text, for Fingerprint
 }
 
 // NewKernelSet parses and checks each source file and indexes the versions
 // of the named kernel by their declared level.
 func NewKernelSet(name string, sources ...string) (*KernelSet, error) {
-	ks := &KernelSet{Name: name, Versions: map[string]*mcpl.Program{}}
+	ks := &KernelSet{Name: name, Versions: map[string]*mcpl.Program{}, sources: map[string]string{}}
 	for i, src := range sources {
 		prog, err := mcpl.Parse(src)
 		if err != nil {
@@ -41,11 +43,39 @@ func NewKernelSet(name string, sources ...string) (*KernelSet, error) {
 			return nil, fmt.Errorf("codegen: kernel %s has two versions at level %q", name, k.Level)
 		}
 		ks.Versions[k.Level] = prog
+		ks.sources[k.Level] = src
 	}
 	if len(ks.Versions) == 0 {
 		return nil, fmt.Errorf("codegen: kernel %s has no versions", name)
 	}
 	return ks, nil
+}
+
+// FNV-1a constants for Fingerprint.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Fingerprint hashes the kernel set's name and every version's source text
+// (in sorted level order). Tuning-cache entries are versioned by it: editing
+// any version of the kernel invalidates its cached tuning results.
+func (ks *KernelSet) Fingerprint() uint64 {
+	h := uint64(fnvOffset)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= fnvPrime
+		}
+		h ^= 0xff // separator so ("a","bc") and ("ab","c") differ
+		h *= fnvPrime
+	}
+	mix(ks.Name)
+	for _, level := range ks.Levels() {
+		mix(level)
+		mix(ks.sources[level])
+	}
+	return h
 }
 
 // Levels returns the available version levels, sorted.
@@ -71,6 +101,10 @@ type Compiled struct {
 	translated *mcpl.Program
 	spec       *device.Spec
 	engine     *closure.Kernel // closure-compiled fast engine; nil -> interp
+
+	extents  []int64 // tuned per-dimension work-group extents (flat nests only)
+	geomCost bool    // fold the launch geometry into Cost
+	maxWG    int64   // leaf work-group size limit (0 = unlimited)
 }
 
 // engineKey identifies one (program, kernel) pair in the closure engine
@@ -102,18 +136,32 @@ func engineFor(prog *mcpl.Program, name string) *closure.Kernel {
 // Compile selects the most specific applicable version for the leaf,
 // translates it, and produces the generated code plus glue metadata.
 func (ks *KernelSet) Compile(leaf string, h *hdl.Hierarchy) (*Compiled, error) {
-	lv, err := h.Lookup(leaf)
-	if err != nil {
-		return nil, err
-	}
 	level, err := h.MostSpecific(ks.Levels(), leaf)
 	if err != nil {
 		return nil, fmt.Errorf("codegen: kernel %s: %w (Cashmere suggests adding a hardware description for %q)", ks.Name, err, leaf)
 	}
-	src := ks.Versions[level]
+	return ks.CompileAt(level, leaf, h)
+}
+
+// CompileAt compiles the version at an explicitly chosen level for the leaf,
+// bypassing the MostSpecific default. The auto-tuner uses it to evaluate
+// every applicable (level, geometry) configuration; the level must be an
+// ancestor-or-self of the leaf.
+func (ks *KernelSet) CompileAt(level, leaf string, h *hdl.Hierarchy) (*Compiled, error) {
+	lv, err := h.Lookup(leaf)
+	if err != nil {
+		return nil, err
+	}
+	src, ok := ks.Versions[level]
+	if !ok {
+		return nil, fmt.Errorf("codegen: kernel %s has no version at level %q (available: %v)", ks.Name, level, ks.Levels())
+	}
 	srcLv, err := h.Lookup(level)
 	if err != nil {
 		return nil, err
+	}
+	if !lv.HasAncestor(level) {
+		return nil, fmt.Errorf("codegen: kernel %s: level %q does not apply to device leaf %q", ks.Name, level, leaf)
 	}
 	if err := translate.ValidateLevel(src, ks.Name, h); err != nil {
 		return nil, err
@@ -142,8 +190,103 @@ func (ks *KernelSet) Compile(leaf string, h *hdl.Hierarchy) (*Compiled, error) {
 		translated:  tr,
 		spec:        spec,
 		engine:      engineFor(src, ks.Name),
+		maxWG:       leafWorkgroupLimit(lv),
 	}, nil
 }
+
+// leafWorkgroupLimit reads the leaf's work-group size bound from its
+// innermost parallelism unit (threads on GPUs, vectors on MIC/CPU). 0 means
+// unlimited (the root's idealized threads).
+func leafWorkgroupLimit(lv *hdl.Level) int64 {
+	if u := lv.LookupPar("threads"); u != nil && u.Max > 0 {
+		return u.Max
+	}
+	if u := lv.LookupPar("vectors"); u != nil && u.Max > 0 {
+		return u.Max
+	}
+	return 0
+}
+
+// FlatLaunchDims reports the dimensionality of the kernel's flat foreach
+// nest — the shape whose work-group extents the tuner may choose — or 0 when
+// the kernel fixes its own blocks-of-threads structure (hand-optimized
+// versions pin their geometry in the source).
+func (c *Compiled) FlatLaunchDims() int {
+	f := c.src.Kernel(c.Name)
+	groups, threads, total := 0, 0, 0
+	cur := f.Body
+	for {
+		var fe *mcpl.Foreach
+		for _, s := range cur.Stmts {
+			if x, ok := s.(*mcpl.Foreach); ok {
+				fe = x
+				break
+			}
+		}
+		if fe == nil {
+			break
+		}
+		total++
+		if fe.Unit != "threads" && fe.Unit != "vectors" {
+			groups++
+		} else {
+			threads++
+		}
+		cur = fe.Body
+	}
+	if groups > 0 && groups == threads {
+		return 0
+	}
+	return total
+}
+
+// SetLaunchExtents overrides the work-group extents of the kernel's flat
+// foreach nest (the launch-time local size of the generated OpenCL, which
+// needs no re-emission). The extents must match the nest's dimensionality,
+// be positive, and stay within the leaf's work-group limit. nil restores
+// the translator default.
+func (c *Compiled) SetLaunchExtents(ext []int64) error {
+	if len(ext) == 0 {
+		c.extents = nil
+		return nil
+	}
+	nd := c.FlatLaunchDims()
+	if nd == 0 {
+		return fmt.Errorf("codegen: kernel %s at level %s fixes its own launch geometry", c.Name, c.SourceLevel)
+	}
+	if len(ext) != nd {
+		return fmt.Errorf("codegen: kernel %s: %d extents for a %d-dimension nest", c.Name, len(ext), nd)
+	}
+	p := int64(1)
+	for _, e := range ext {
+		if e < 1 {
+			return fmt.Errorf("codegen: kernel %s: non-positive work-group extent %d", c.Name, e)
+		}
+		p *= e
+	}
+	if c.maxWG > 0 && p > c.maxWG {
+		return fmt.Errorf("codegen: kernel %s: work-group of %d items exceeds the %s limit of %d", c.Name, p, c.Leaf, c.maxWG)
+	}
+	c.extents = append([]int64(nil), ext...)
+	return nil
+}
+
+// LaunchExtents returns the tuned work-group extents, or nil when the
+// translator default applies.
+func (c *Compiled) LaunchExtents() []int64 { return c.extents }
+
+// MaxWorkgroup reports the leaf's work-group size limit (0 = unlimited).
+func (c *Compiled) MaxWorkgroup() int64 { return c.maxWG }
+
+// EnableGeometryCost folds the concrete launch geometry (SIMD lane fit,
+// work-group limit overruns, bounds padding, compute-unit quantization) into
+// Cost. Off by default so untuned runs keep the translator-era cost model
+// byte for byte; the tuner and tuned clusters turn it on for every
+// configuration they compare, default geometry included.
+func (c *Compiled) EnableGeometryCost() { c.geomCost = true }
+
+// GeometryCost reports whether Cost folds in the launch geometry.
+func (c *Compiled) GeometryCost() bool { return c.geomCost }
 
 // Run executes the kernel on the host at verification scale. The
 // closure-compiled engine (internal/mcl/closure) is the default; kernels it
@@ -165,7 +308,10 @@ func (c *Compiled) Analyze(params map[string]int64) (*Report, error) {
 	return Analyze(c.src, c.Name, params, simd)
 }
 
-// Cost returns the device cost descriptor for a launch.
+// Cost returns the device cost descriptor for a launch. With
+// EnableGeometryCost set, the concrete work-group geometry of the launch
+// degrades the efficiency terms (see geometryEff); kernels whose geometry
+// cannot be derived for the parameters fall back to the pure analysis cost.
 func (c *Compiled) Cost(params map[string]int64) (device.KernelCost, error) {
 	if c.spec == nil {
 		return device.KernelCost{}, fmt.Errorf("codegen: no device model for leaf %q", c.Leaf)
@@ -174,7 +320,21 @@ func (c *Compiled) Cost(params map[string]int64) (device.KernelCost, error) {
 	if err != nil {
 		return device.KernelCost{}, err
 	}
-	return Cost(rep, c.spec, c.Distance), nil
+	kc := Cost(rep, c.spec, c.Distance)
+	if c.geomCost {
+		if g, gerr := c.LaunchConfig(params); gerr == nil {
+			eff := geometryEff(c.spec, c.maxWG, g)
+			kc.ComputeEff *= eff
+			if kc.ComputeEff < 0.02 {
+				kc.ComputeEff = 0.02
+			}
+			kc.BandwidthEff *= eff
+			if kc.BandwidthEff < 0.05 {
+				kc.BandwidthEff = 0.05
+			}
+		}
+	}
+	return kc, nil
 }
 
 // Glue is the launch configuration MCL generates for Cashmere: the OpenCL
@@ -184,6 +344,9 @@ func (c *Compiled) Cost(params map[string]int64) (device.KernelCost, error) {
 type Glue struct {
 	GlobalSize []int64
 	LocalSize  []int64
+	// Bounds are the raw per-dimension iteration extents before global-size
+	// round-up; the geometry cost model charges the padding between the two.
+	Bounds []int64
 }
 
 // Items reports the total number of work-items.
@@ -241,16 +404,21 @@ func (c *Compiled) LaunchConfig(params map[string]int64) (Glue, error) {
 		for i := range groups {
 			g.GlobalSize = append(g.GlobalSize, groups[i]*threads[i])
 			g.LocalSize = append(g.LocalSize, threads[i])
+			g.Bounds = append(g.Bounds, groups[i]*threads[i])
 		}
 		return g, nil
 	}
 	// Flat thread-style nest (level perfect): MCL picks the work-group shape
-	// from its hardware descriptions.
-	ext := translate.BlockExtents(len(dims))
+	// from its hardware descriptions, unless the tuner pinned one.
+	ext := c.extents
+	if len(ext) == 0 {
+		ext = translate.BlockExtents(len(dims))
+	}
 	for i, d := range dims {
 		e := ext[i%len(ext)]
 		g.LocalSize = append(g.LocalSize, e)
 		g.GlobalSize = append(g.GlobalSize, (d.bound+e-1)/e*e)
+		g.Bounds = append(g.Bounds, d.bound)
 	}
 	return g, nil
 }

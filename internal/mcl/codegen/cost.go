@@ -62,3 +62,66 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// geometryEff models the efficiency of a concrete launch geometry, the term
+// Compiled.EnableGeometryCost folds into the roofline efficiencies. Four
+// multiplicative effects, each in (0,1]:
+//
+//   - lane fit: a work-group that is not a multiple of the SIMD width runs
+//     its last warp/wavefront with idle lanes;
+//   - work-group limit: groups beyond the leaf's limit (maxWG) cannot run
+//     as one group and serialize, modeled as proportional slowdown;
+//   - bounds padding: global sizes rounded up past the raw iteration bounds
+//     execute masked-out work-items (e.g. 16x16 groups over 4-row tiles);
+//   - compute-unit quantization: the tail wave of work-groups leaves
+//     compute units idle when the group count is small relative to the CUs.
+//
+// The product is floored at 0.05, mirroring the occupancy floor.
+func geometryEff(spec *device.Spec, maxWG int64, g Glue) float64 {
+	wg := int64(1)
+	for _, s := range g.LocalSize {
+		wg *= s
+	}
+	if wg < 1 {
+		return 1
+	}
+	eff := 1.0
+	if simd := int64(spec.SIMDWidth); simd > 1 {
+		rounded := (wg + simd - 1) / simd * simd
+		eff *= float64(wg) / float64(rounded)
+	}
+	if maxWG > 0 && wg > maxWG {
+		eff *= float64(maxWG) / float64(wg)
+	}
+	if len(g.Bounds) == len(g.GlobalSize) {
+		raw, padded := int64(1), int64(1)
+		for i := range g.Bounds {
+			raw *= g.Bounds[i]
+			padded *= g.GlobalSize[i]
+		}
+		if raw > 0 && padded > raw {
+			eff *= float64(raw) / float64(padded)
+		}
+	}
+	if cu := int64(spec.ComputeUnits); cu > 0 {
+		groups := int64(1)
+		for i := range g.GlobalSize {
+			l := int64(1)
+			if i < len(g.LocalSize) && g.LocalSize[i] > 0 {
+				l = g.LocalSize[i]
+			}
+			groups *= (g.GlobalSize[i] + l - 1) / l
+		}
+		if groups > 0 {
+			waves := (groups + cu - 1) / cu
+			eff *= float64(groups) / float64(waves*cu)
+		}
+	}
+	if eff < 0.05 {
+		eff = 0.05
+	}
+	if eff > 1 {
+		eff = 1
+	}
+	return eff
+}

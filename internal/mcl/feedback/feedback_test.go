@@ -232,6 +232,58 @@ func TestCountBySeverity(t *testing.T) {
 	}
 }
 
+func TestEmptyParamsMap(t *testing.T) {
+	// The tuner calls Generate with whatever parameters the request carries.
+	// An empty (or nil) map on a kernel with scalar parameters must yield a
+	// descriptive error naming the missing parameter — never a panic — so
+	// the tuner can skip feedback scoring and keep searching.
+	for _, params := range []map[string]int64{{}, nil} {
+		_, err := Generate(prog(t, matmulPerfect), "matmul", params, lv(t, "gpu"), nil)
+		if err == nil {
+			t.Fatalf("params=%v: missing scalar parameters accepted", params)
+		}
+		if !strings.Contains(err.Error(), `"n"`) {
+			t.Fatalf("params=%v: error %q does not name the parameter", params, err)
+		}
+	}
+	// A kernel without scalar parameters tolerates an empty map outright.
+	src := `
+perfect void fill(float[1024] a) {
+  foreach (int i in 1024 threads) {
+    a[i] = 0.0;
+  }
+}`
+	if _, err := Generate(prog(t, src), "fill", map[string]int64{}, lv(t, "gpu"), nil); err != nil {
+		t.Fatalf("scalar-free kernel rejected empty params: %v", err)
+	}
+	// At perfect there is nothing to analyze, so even missing parameters
+	// cannot fail.
+	if msgs, err := Generate(prog(t, matmulPerfect), "matmul", nil, lv(t, "perfect"), nil); err != nil || len(msgs) != 0 {
+		t.Fatalf("perfect with nil params: msgs=%v err=%v", msgs, err)
+	}
+}
+
+func TestCountSeverityOrdering(t *testing.T) {
+	// Count(msgs, min) is a cumulative tail count: Info <= Warning <=
+	// Problem must hold for any message mix, and a nil slice counts zero.
+	msgs := []Message{
+		{Severity: Problem}, {Severity: Info}, {Severity: Warning},
+		{Severity: Warning}, {Severity: Info},
+	}
+	if got := Count(msgs, Info); got != 5 {
+		t.Fatalf("Count(Info) = %d", got)
+	}
+	if got := Count(msgs, Warning); got != 3 {
+		t.Fatalf("Count(Warning) = %d", got)
+	}
+	if got := Count(msgs, Problem); got != 1 {
+		t.Fatalf("Count(Problem) = %d", got)
+	}
+	if Count(nil, Info) != 0 || Count(nil, Problem) != 0 {
+		t.Fatal("nil slice counted messages")
+	}
+}
+
 func TestUnknownKernel(t *testing.T) {
 	if _, err := Generate(prog(t, matmulPerfect), "nope", nil, lv(t, "gpu"), nil); err == nil {
 		t.Fatal("unknown kernel accepted")

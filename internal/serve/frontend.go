@@ -58,6 +58,7 @@ type tenantState struct {
 	cum      []int
 	totalCum int
 	costs    []float64 // per-class WFQ cost, ns
+	caps     []int     // per-class batch cap (JobClass.MaxBatch or Config.MaxBatch)
 
 	// Accounting.
 	Offered      int64
@@ -144,6 +145,11 @@ func NewFrontend(k *simnet.Kernel, cfg Config, rec *trace.Recorder) *Frontend {
 				cost = float64(defaultCostHint)
 			}
 			t.costs = append(t.costs, cost)
+			bc := cfg.MaxBatch
+			if c.MaxBatch > 0 {
+				bc = c.MaxBatch
+			}
+			t.caps = append(t.caps, bc)
 		}
 	}
 	return f
@@ -339,7 +345,7 @@ func (f *Frontend) NextBatch(now simnet.Time, dst []*Request) []*Request {
 	dst = append(dst, r)
 
 	batchable := t.spec.Mix[r.Class].BatchParam != ""
-	for batchable && len(dst) < f.cfg.MaxBatch && t.qlen > 0 && t.head.Class == r.Class {
+	for batchable && len(dst) < t.caps[r.Class] && t.qlen > 0 && t.head.Class == r.Class {
 		nr := t.pop()
 		nr.Issue = now
 		if t.lastFinish > f.vt {

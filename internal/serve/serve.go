@@ -36,6 +36,7 @@ import (
 	"cashmere/internal/device"
 	"cashmere/internal/mcl/codegen"
 	"cashmere/internal/mcl/hdl"
+	"cashmere/internal/mcl/tune"
 	"cashmere/internal/network"
 	"cashmere/internal/simnet"
 )
@@ -69,6 +70,11 @@ type JobClass struct {
 	// cost unit and the token-bucket work weight. EstimateCosts fills it
 	// from the device cost model when zero.
 	CostHint simnet.Duration
+	// MaxBatch, when > 0, caps batching for this class specifically,
+	// overriding Config.MaxBatch. ApplyTuning sizes it from the tuned
+	// per-request service time so a full batch stays within half the SLO —
+	// cheap tuned classes batch deeper, expensive ones stop coalescing.
+	MaxBatch int
 	// Weight is the selection weight of this class within the tenant mix.
 	Weight int
 }
@@ -261,6 +267,70 @@ func (w *Workload) EstimateCosts(dev string) error {
 			}
 			mix[ci].CostHint = spec.KernelTime(cost) +
 				spec.TransferTime(mix[ci].InBytes) + spec.TransferTime(mix[ci].OutBytes)
+		}
+	}
+	return nil
+}
+
+// ApplyTuning refines the workload from an auto-tuning cache: every
+// non-graph class whose kernel has a cached winner for the device gets its
+// CostHint recomputed at the tuned configuration (tuned level, tuned launch
+// geometry, geometry-aware cost model), and batchable classes get a
+// per-class MaxBatch sized so a full batch of tuned requests fits in half
+// the SLO. Classes without a cached winner keep the static estimate.
+func (w *Workload) ApplyTuning(cache *tune.Cache, dev string, slo simnet.Duration) error {
+	if cache == nil {
+		return nil
+	}
+	spec, err := device.Lookup(dev)
+	if err != nil {
+		return err
+	}
+	h := hdl.Library()
+	byName := map[string]*codegen.KernelSet{}
+	for _, ks := range w.KernelSets {
+		byName[ks.Name] = ks
+	}
+	for ti := range w.Tenants {
+		mix := w.Tenants[ti].Mix
+		for ci := range mix {
+			if mix[ci].Graph != nil || mix[ci].Kernel == "" {
+				continue
+			}
+			ks, ok := byName[mix[ci].Kernel]
+			if !ok {
+				continue
+			}
+			e, ok := cache.Lookup(tune.Key(ks, spec))
+			if !ok {
+				continue
+			}
+			c, err := ks.CompileAt(e.Level, spec.Leaf, h)
+			if err != nil {
+				return err
+			}
+			if len(e.Local) > 0 {
+				if err := c.SetLaunchExtents(e.Local); err != nil {
+					return err
+				}
+			}
+			c.EnableGeometryCost()
+			cost, err := c.Cost(mix[ci].Params)
+			if err != nil {
+				return err
+			}
+			mix[ci].CostHint = spec.KernelTime(cost) +
+				spec.TransferTime(mix[ci].InBytes) + spec.TransferTime(mix[ci].OutBytes)
+			if mix[ci].BatchParam != "" && mix[ci].CostHint > 0 && slo > 0 {
+				nb := int(slo / 2 / mix[ci].CostHint)
+				if nb < 1 {
+					nb = 1
+				}
+				if nb > 16 {
+					nb = 16
+				}
+				mix[ci].MaxBatch = nb
+			}
 		}
 	}
 	return nil

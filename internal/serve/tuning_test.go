@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"cashmere/internal/device"
+	"cashmere/internal/mcl/hdl"
+	"cashmere/internal/mcl/tune"
+)
+
+func TestPerClassMaxBatchCapsCoalescing(t *testing.T) {
+	// Class 0 caps at 2 below the global 4; class 1 inherits the global cap.
+	deep := classFixed("deep", time.Millisecond, "n")
+	capped := classFixed("capped", time.Millisecond, "n")
+	capped.MaxBatch = 2
+	f := NewFrontend(nil, feConfig(TenantSpec{
+		Name: "a", Weight: 1,
+		Mix: []JobClass{capped, deep},
+	}), nil)
+
+	for i := 0; i < 4; i++ {
+		if _, v, _ := f.Admit(0, 0, 0); v != Admitted {
+			t.Fatalf("arrival %d shed", i)
+		}
+	}
+	batch := f.NextBatch(0, nil)
+	if len(batch) != 2 {
+		t.Fatalf("capped class batched %d, want 2", len(batch))
+	}
+	for _, r := range batch {
+		f.Complete(0, r, true)
+	}
+
+	// The uncapped class still coalesces up to the global limit.
+	for i := 0; i < 4; i++ {
+		if _, v, _ := f.Admit(0, 0, 1); v != Admitted {
+			t.Fatalf("arrival %d shed", i)
+		}
+	}
+	// Drain the two leftovers of class 0 first (FIFO per tenant).
+	rest := f.NextBatch(0, nil)
+	if len(rest) != 2 {
+		t.Fatalf("leftover batch = %d, want 2", len(rest))
+	}
+	for _, r := range rest {
+		f.Complete(0, r, true)
+	}
+	batch = f.NextBatch(0, nil)
+	if len(batch) != 4 {
+		t.Fatalf("uncapped class batched %d, want global max 4", len(batch))
+	}
+	for _, r := range batch {
+		f.Complete(0, r, true)
+	}
+}
+
+func TestApplyTuningRefinesCostAndBatch(t *testing.T) {
+	w, err := StandardWorkload(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dev = "gtx480"
+	spec, err := device.Lookup(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hdl.Library()
+
+	// Tune every kernel of the workload into a cache.
+	cache := tune.NewCache()
+	for _, ks := range w.KernelSets {
+		params := map[string]int64{"n": 512, "m": 512, "p": 512}
+		if ks.Name == "kmeans" {
+			params = map[string]int64{"n": 64 * 1024, "k": 256, "d": 4}
+		}
+		req := tune.Request{Set: ks, Device: spec, Params: params, InBytes: 1 << 20, OutBytes: 1 << 18}
+		if _, err := cache.TuneOnce(req, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	slo := 50 * time.Millisecond
+	if err := w.ApplyTuning(cache, dev, slo); err != nil {
+		t.Fatal(err)
+	}
+	touched := 0
+	for _, tn := range w.Tenants {
+		for _, c := range tn.Mix {
+			if c.CostHint <= 0 {
+				t.Fatalf("class %s has no cost after tuning", c.Name)
+			}
+			if c.BatchParam != "" && c.MaxBatch > 0 {
+				touched++
+				want := int(slo / 2 / c.CostHint)
+				if want < 1 {
+					want = 1
+				}
+				if want > 16 {
+					want = 16
+				}
+				if c.MaxBatch != want {
+					t.Fatalf("class %s MaxBatch = %d, want %d (cost %v)", c.Name, c.MaxBatch, want, c.CostHint)
+				}
+			}
+		}
+	}
+	if touched == 0 {
+		t.Fatal("ApplyTuning set no per-class batch caps")
+	}
+
+	// A nil cache is a no-op, not an error.
+	if err := w.ApplyTuning(nil, dev, slo); err != nil {
+		t.Fatal(err)
+	}
+	// An unknown device errors.
+	if err := w.ApplyTuning(cache, "bogus", slo); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}
