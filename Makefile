@@ -6,7 +6,7 @@ GO ?= go
 # real erosion.
 COVER_FLOOR ?= 68.0
 
-.PHONY: check lint vet build test race cover bench bench-sim bench-serve bench-autoscale bench-allocs
+.PHONY: check lint vet build test race cover bench bench-sim bench-serve bench-autoscale bench-allocs bench-svm
 
 # check runs everything CI runs (minus the version matrix).
 check: lint build test race cover
@@ -37,7 +37,7 @@ test:
 # and the serving layer whose partitioned runs drive drain/abort/migrate
 # paths across parallel event loops.
 race:
-	$(GO) test -race ./internal/mcl/... ./internal/simnet/... ./internal/network/... ./internal/satin/... ./internal/bench/... ./internal/trace/... ./internal/core/... ./internal/ocl/... ./internal/serve/...
+	$(GO) test -race ./internal/mcl/... ./internal/simnet/... ./internal/network/... ./internal/satin/... ./internal/bench/... ./internal/trace/... ./internal/core/... ./internal/ocl/... ./internal/svm/... ./internal/serve/...
 
 # cover writes cover.out and fails if total statement coverage drops below
 # COVER_FLOOR.
@@ -77,15 +77,22 @@ bench-autoscale:
 # bench-allocs enforces the pinned zero-allocation contracts: the simnet
 # event loop, the pooled network message path, disabled tracing, the
 # device-runtime enqueue path (BenchmarkLaunchPath), the dataflow-graph
-# submit path (BenchmarkGraphSubmitPath) and the serving admission fast
-# path (BenchmarkServeAdmitPath) must all report 0 allocs/op. CI fails if
-# any of them regresses above zero.
+# submit path (BenchmarkGraphSubmitPath), the serving admission fast
+# path (BenchmarkServeAdmitPath) and the SVM steady-state re-fault path
+# (BenchmarkSVMRefault) must all report 0 allocs/op. CI fails if any of
+# them regresses above zero.
 bench-allocs:
 	@$(GO) test -run xxx -benchmem -benchtime 2000x \
-		-bench 'BenchmarkSimnetEventLoop|BenchmarkNetworkMessageRate|BenchmarkTraceOverhead|BenchmarkLaunchPath|BenchmarkGraphSubmitPath|BenchmarkServeAdmitPath' \
-		./internal/simnet/ ./internal/network/ ./internal/trace/ ./internal/ocl/ ./internal/core/ ./internal/serve/ | tee bench-allocs.out
+		-bench 'BenchmarkSimnetEventLoop|BenchmarkNetworkMessageRate|BenchmarkTraceOverhead|BenchmarkLaunchPath|BenchmarkGraphSubmitPath|BenchmarkServeAdmitPath|BenchmarkSVMRefault' \
+		./internal/simnet/ ./internal/network/ ./internal/trace/ ./internal/ocl/ ./internal/core/ ./internal/svm/ ./internal/serve/ | tee bench-allocs.out
 	@bad=$$(awk '/allocs\/op/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
-		if (name ~ /^(BenchmarkSimnetEventLoop\/hold|BenchmarkSimnetEventLoop\/pingpong|BenchmarkNetworkMessageRate\/bulk|BenchmarkNetworkMessageRate\/ctl|BenchmarkTraceOverhead\/off|BenchmarkTraceOverhead\/off\/span-only|BenchmarkTraceOverheadDevice\/off|BenchmarkLaunchPath|BenchmarkGraphSubmitPath|BenchmarkServeAdmitPath)$$/ \
+		if (name ~ /^(BenchmarkSimnetEventLoop\/hold|BenchmarkSimnetEventLoop\/pingpong|BenchmarkNetworkMessageRate\/bulk|BenchmarkNetworkMessageRate\/ctl|BenchmarkTraceOverhead\/off|BenchmarkTraceOverhead\/off\/span-only|BenchmarkTraceOverheadDevice\/off|BenchmarkLaunchPath|BenchmarkGraphSubmitPath|BenchmarkServeAdmitPath|BenchmarkSVMRefault)$$/ \
 		&& $$(NF-1)+0 > 0) print name, $$(NF-1), "allocs/op" }' bench-allocs.out); \
 	if [ -n "$$bad" ]; then echo "zero-alloc benchmarks regressed:"; echo "$$bad"; exit 1; fi; \
 	echo "all pinned benchmarks at 0 allocs/op"
+
+# bench-svm regenerates the transfer-model crossover recorded in
+# BENCH_svm.json: explicit copies vs demand-paged shared virtual memory
+# (both protocols) from sparse iterative reuse to bulk streaming.
+bench-svm:
+	$(GO) run ./cmd/cashmere-bench -experiment svm -svm-json BENCH_svm.json

@@ -42,6 +42,7 @@ import (
 	"cashmere/internal/satin"
 	"cashmere/internal/serve"
 	"cashmere/internal/simnet"
+	"cashmere/internal/svm"
 	"cashmere/internal/trace"
 )
 
@@ -80,6 +81,61 @@ type (
 	// FeedbackMessage is one piece of MCL compiler feedback.
 	FeedbackMessage = feedback.Message
 )
+
+// Shared virtual memory (internal/svm): the interchangeable alternative to
+// explicit copies. With Config.Transport = TransportSVM, launch data moves
+// as demand page migrations over the same DMA queues, and SVMBuffers are
+// kept coherent by a per-node write-invalidate or region-ownership
+// protocol. The same kernels run on either transport. See DESIGN.md,
+// "Shared virtual memory", and cashmere-bench -experiment svm.
+type (
+	// Transport selects explicit copies or shared virtual memory.
+	Transport = core.Transport
+	// SVMBuffer is one coherent shared region of a node's SVM space.
+	SVMBuffer = svm.Buffer
+	// SVMConfig tunes page size, protocol and invalidation cost (Config.SVM).
+	SVMConfig = svm.Config
+	// SVMProtocol is the coherence protocol of an SVM space.
+	SVMProtocol = svm.Protocol
+	// SVMRange is a byte range of an SVMBuffer access.
+	SVMRange = svm.Range
+	// SVMMode declares how a launch touches a buffer.
+	SVMMode = svm.Mode
+	// BufferAccess is one declared SVM access of a LaunchSpec.
+	BufferAccess = core.BufferAccess
+	// SVMCounters are the fault/migration/invalidation statistics of a space.
+	SVMCounters = svm.Counters
+)
+
+// Transport and SVM constants, re-exported for facade users.
+const (
+	TransportExplicit = core.TransportExplicit
+	TransportSVM      = core.TransportSVM
+
+	SVMRead      = svm.Read
+	SVMWrite     = svm.Write
+	SVMReadWrite = svm.ReadWrite
+
+	SVMWriteInvalidate = svm.WriteInvalidate
+	SVMRegionOwnership = svm.RegionOwnership
+)
+
+// ParseTransport maps the CLI spellings "explicit" and "svm" to a Transport.
+func ParseTransport(s string) (Transport, error) { return core.ParseTransport(s) }
+
+// NewSVMBuffer allocates, from inside a leaf computation, a coherent shared
+// region homed on the executing node. Works under any transport.
+func NewSVMBuffer(ctx *Context, name string, size int64) (*SVMBuffer, error) {
+	return core.NewSVMBuffer(ctx, name, size)
+}
+
+// SyncSVM blocks until the host copy of b is current (dirty device pages
+// migrate back). A no-op when nothing is dirty.
+func SyncSVM(ctx *Context, b *SVMBuffer) { core.SyncSVM(ctx, b) }
+
+// WriteSVM declares a host overwrite of b's given ranges (all of b when none
+// are given), invalidating device copies.
+func WriteSVM(ctx *Context, b *SVMBuffer, ranges ...SVMRange) { core.WriteSVM(ctx, b, ranges...) }
 
 // Dataflow graphs: compound multi-kernel computations scheduled as one DAG
 // across every device of a node — intermediates chain device-resident,

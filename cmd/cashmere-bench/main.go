@@ -26,14 +26,17 @@ var tuneOpts struct {
 	survivors int
 }
 
+// svmJSON is the -svm-json flag: destination of the BENCH_svm.json document.
+var svmJSON string
+
 var experiments = []string{
 	"tab2", "fig6",
 	"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-	"tab3", "fig15", "fig16", "fig17", "tune",
+	"tab3", "fig15", "fig16", "fig17", "tune", "svm",
 }
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment id (tab2, fig6..fig17, tab3, tune) or all")
+	exp := flag.String("experiment", "all", "experiment id (tab2, fig6..fig17, tab3, tune, svm) or all")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"number of simulations to run concurrently (1 = sequential); output is identical at any setting")
@@ -43,6 +46,8 @@ func main() {
 		"with -experiment tune, also write the sweep as the BENCH_kernels.json \"tuning\" section to this file")
 	tuneSurv := flag.Int("tune-survivors", 0,
 		"measured-refinement budget of the tune experiment (0 = tuner default)")
+	svmJSONF := flag.String("svm-json", "",
+		"with -experiment svm, also write the crossover sweep as BENCH_svm.json to this file")
 	traceF := flag.String("trace", "",
 		"write a Chrome trace of the heterogeneous k-means run (Figs. 16/17) and exit")
 	metrics := flag.Bool("metrics", false,
@@ -57,6 +62,7 @@ func main() {
 	}
 	tuneOpts.json = *tuneJSON
 	tuneOpts.survivors = *tuneSurv
+	svmJSON = *svmJSONF
 
 	if *list {
 		for _, e := range experiments {
@@ -196,6 +202,30 @@ func runExperiment(id string) error {
 				return err
 			}
 			fmt.Printf("wrote %s\n", tuneOpts.json)
+		}
+	case "svm":
+		points, err := bench.SVMCrossover()
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatSVMTable(points))
+		if svmJSON != "" {
+			doc := map[string]any{
+				"description": "explicit copies vs demand-paged shared virtual memory (internal/svm) on an iterative touch workload, sparse reuse to bulk streaming; regenerate with: go run ./cmd/cashmere-bench -experiment svm -svm-json <file>",
+				"config": map[string]any{
+					"device": "gtx480", "buffer_bytes": 48 << 20, "iterations": 6,
+					"protocols": []string{"write-invalidate", "region-ownership"},
+				},
+				"points": points,
+			}
+			buf, err := json.MarshalIndent(doc, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(svmJSON, append(buf, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", svmJSON)
 		}
 	default:
 		return fmt.Errorf("unknown experiment %q (use -list)", id)

@@ -23,6 +23,7 @@ import (
 	"cashmere/internal/mcl/codegen"
 	"cashmere/internal/mcl/hdl"
 	"cashmere/internal/mcl/tune"
+	"cashmere/internal/svm"
 	"cashmere/internal/trace"
 )
 
@@ -45,6 +46,10 @@ func main() {
 			"step partition windows sequentially instead of concurrently (the determinism oracle; same trajectory)")
 		tuneCacheF = flag.String("tune-cache", "",
 			"auto-tune the app's kernel for every device type before the run (internal/mcl/tune) and persist the winners in this cache file")
+		transportF = flag.String("transport", "explicit",
+			"data-movement model: explicit (bulk copies) or svm (demand-paged shared virtual memory)")
+		svmProto = flag.String("svm-protocol", "wi",
+			"SVM coherence protocol: wi (write-invalidate) or ro (region-ownership)")
 	)
 	flag.Parse()
 
@@ -78,6 +83,16 @@ func main() {
 
 	cfg := core.DefaultConfig(*nodes, *dev)
 	cfg.Seed = *seed
+	cfg.Transport, err = core.ParseTransport(*transportF)
+	die(err)
+	switch *svmProto {
+	case "wi":
+		cfg.SVM.Protocol = svm.WriteInvalidate
+	case "ro":
+		cfg.SVM.Protocol = svm.RegionOwnership
+	default:
+		die(fmt.Errorf("unknown SVM protocol %q (want wi or ro)", *svmProto))
+	}
 	cfg.Record = *gantt || *traceF != ""
 	cfg.TraceSched = *traceF != ""
 	cfg.Oracle = *oracle

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"cashmere/internal/core"
+	"cashmere/internal/mcl/codegen"
+	"cashmere/internal/satin"
+	"cashmere/internal/simnet"
+	"cashmere/internal/svm"
+)
+
+// SVM crossover experiment (cashmere-bench -experiment svm, BENCH_svm.json):
+// the same iterative touch workload run under the explicit transport and
+// under shared virtual memory with both coherence protocols, across access
+// patterns from sparse (a few pages re-read per iteration) to bulk
+// streaming (the host rewrites the whole working set every iteration).
+//
+// The tradeoff the sweep reproduces: explicit transfers bill one PCIe
+// latency per bulk copy but must conservatively ship every declared byte on
+// every launch, while SVM pays a round trip per faulted page but moves only
+// what is touched and keeps it device-resident across launches. Sparse
+// iterative reuse therefore favors SVM (nothing to move after the first
+// touch) and bulk streaming favors explicit copies (a 2-latency fault per
+// page versus one latency for the whole buffer); region-ownership sits
+// between the two, amortizing streaming like explicit at the price of
+// whole-region ping-pong when sharing is fine-grained.
+
+// svmTouchKernel touches n floats; the workload is transfer-dominated, so
+// the kernel itself is deliberately trivial.
+const svmTouchKernel = `
+perfect void touch(int n, float[n] a) {
+  foreach (int i in n threads) {
+    a[i] = a[i] * 2.0 + 1.0;
+  }
+}
+`
+
+// svmWorkload describes one point of the crossover sweep.
+type svmWorkload struct {
+	name     string
+	touched  int   // pages accessed per iteration
+	stream   bool  // host rewrites the buffer and drains results every iteration
+	pageSize int64 // Space page size (0 = default)
+}
+
+const (
+	svmBufferBytes = int64(48 << 20) // stays under the in-core streaming threshold
+	svmIters       = 6
+)
+
+// SVMPoint is one measured point of BENCH_svm.json.
+type SVMPoint struct {
+	Workload     string  `json:"workload"`
+	TouchedPages int     `json:"touched_pages"`
+	PageSize     int64   `json:"page_size"`
+	ExplicitNs   int64   `json:"explicit_ns"`
+	SVMWINs      int64   `json:"svm_wi_ns"`
+	SVMRONs      int64   `json:"svm_ro_ns"`
+	WISpeedup    float64 `json:"wi_speedup"` // explicit / write-invalidate
+	ROSpeedup    float64 `json:"ro_speedup"` // explicit / region-ownership
+	WIFaults     int64   `json:"wi_faults"`
+	WIMigrated   int64   `json:"wi_pages_migrated"`
+	WIInvals     int64   `json:"wi_invalidations"`
+	WIBytesMoved int64   `json:"wi_bytes_moved"`
+}
+
+// runSVMWorkload executes one workload on a one-node gtx480 cluster under
+// the given transport/protocol and returns the virtual completion time plus
+// the cluster's SVM counters.
+func runSVMWorkload(w svmWorkload, transport core.Transport, proto svm.Protocol) (simnet.Duration, svm.Counters, error) {
+	cfg := core.DefaultConfig(1, "gtx480")
+	cfg.Transport = transport
+	cfg.SVM = svm.Config{Protocol: proto, PageSize: w.pageSize}
+	cl, err := core.NewCluster(cfg)
+	if err != nil {
+		return 0, svm.Counters{}, err
+	}
+	ks, err := codegen.NewKernelSet("touch", svmTouchKernel)
+	if err != nil {
+		return 0, svm.Counters{}, err
+	}
+	if err := cl.Register(ks); err != nil {
+		return 0, svm.Counters{}, err
+	}
+	ps := cfg.SVM.PageSize
+	if ps <= 0 {
+		ps = svm.DefaultPageSize
+	}
+	v, end, err := cl.Run(func(ctx *satin.Context) any {
+		b, err := core.NewSVMBuffer(ctx, "data", svmBufferBytes)
+		if err != nil {
+			return err
+		}
+		k, err := core.GetKernel(ctx, "touch")
+		if err != nil {
+			return err
+		}
+		// The touched prefix of the region; consecutive pages so the fault
+		// path batches them, which is the favorable case for SVM.
+		ranges := []svm.Range{{Off: 0, Len: int64(w.touched) * ps}}
+		if int64(w.touched) >= (svmBufferBytes+ps-1)/ps {
+			ranges = nil // whole buffer
+		}
+		n := svmBufferBytes / 4
+		if ranges != nil {
+			n = ranges[0].Len / 4
+		}
+		for iter := 0; iter < svmIters; iter++ {
+			if w.stream {
+				// The host produced a fresh working set this iteration.
+				core.WriteSVM(ctx, b)
+			}
+			spec := core.LaunchSpec{
+				Params:  map[string]int64{"n": n},
+				Buffers: []core.BufferAccess{{Buf: b, Mode: svm.ReadWrite, Ranges: ranges}},
+				Label:   "touch",
+			}
+			if err := k.NewLaunch(spec).Run(ctx); err != nil {
+				return err
+			}
+			if w.stream {
+				// ... and consumes the results before the next one.
+				core.SyncSVM(ctx, b)
+			}
+		}
+		core.SyncSVM(ctx, b)
+		return nil
+	})
+	if err != nil {
+		return 0, svm.Counters{}, err
+	}
+	if rerr, ok := v.(error); ok && rerr != nil {
+		return 0, svm.Counters{}, rerr
+	}
+	return simnet.Duration(end), cl.NodeState(0).Space.Counters(), nil
+}
+
+// SVMCrossover runs the full sweep: sparse points at increasing touched-page
+// counts, the bulk-streaming point, and a page-granularity sweep on the
+// streaming workload.
+func SVMCrossover() ([]SVMPoint, error) {
+	pages := int((svmBufferBytes + svm.DefaultPageSize - 1) / svm.DefaultPageSize)
+	var ws []svmWorkload
+	for _, touched := range []int{3, 12, 48, 192, pages} {
+		ws = append(ws, svmWorkload{name: fmt.Sprintf("sparse-%d", touched), touched: touched})
+	}
+	ws = append(ws, svmWorkload{name: "stream", touched: pages, stream: true})
+	for _, ps := range []int64{16 << 10, 256 << 10, 1 << 20} {
+		ws = append(ws, svmWorkload{
+			name: fmt.Sprintf("stream-page%dk", ps>>10), stream: true,
+			touched: int((svmBufferBytes + ps - 1) / ps), pageSize: ps,
+		})
+	}
+
+	points := make([]SVMPoint, len(ws))
+	err := runParallel(len(ws), func(i int) error {
+		w := ws[i]
+		exp, _, err := runSVMWorkload(w, core.TransportExplicit, svm.WriteInvalidate)
+		if err != nil {
+			return fmt.Errorf("svm %s explicit: %w", w.name, err)
+		}
+		wi, wic, err := runSVMWorkload(w, core.TransportSVM, svm.WriteInvalidate)
+		if err != nil {
+			return fmt.Errorf("svm %s write-invalidate: %w", w.name, err)
+		}
+		ro, _, err := runSVMWorkload(w, core.TransportSVM, svm.RegionOwnership)
+		if err != nil {
+			return fmt.Errorf("svm %s region-ownership: %w", w.name, err)
+		}
+		ps := w.pageSize
+		if ps <= 0 {
+			ps = svm.DefaultPageSize
+		}
+		points[i] = SVMPoint{
+			Workload: w.name, TouchedPages: w.touched, PageSize: ps,
+			ExplicitNs: int64(exp), SVMWINs: int64(wi), SVMRONs: int64(ro),
+			WISpeedup: float64(exp) / float64(wi), ROSpeedup: float64(exp) / float64(ro),
+			WIFaults: wic.Faults, WIMigrated: wic.PagesMigrated,
+			WIInvals: wic.Invalidations, WIBytesMoved: wic.BytesMoved,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// FormatSVMTable renders the crossover sweep as a table.
+func FormatSVMTable(points []SVMPoint) string {
+	var b strings.Builder
+	b.WriteString("== svm: explicit copies vs shared virtual memory ==\n")
+	fmt.Fprintf(&b, "%-16s %6s %8s %12s %12s %12s %8s %8s\n",
+		"workload", "pages", "pagesz", "explicit", "svm-wi", "svm-ro", "wi-x", "ro-x")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-16s %6d %7dk %10dus %10dus %10dus %7.2fx %7.2fx\n",
+			p.Workload, p.TouchedPages, p.PageSize>>10,
+			p.ExplicitNs/1000, p.SVMWINs/1000, p.SVMRONs/1000,
+			p.WISpeedup, p.ROSpeedup)
+	}
+	b.WriteString("speedups are explicit-time / svm-time: >1 means SVM wins.\n")
+	return b.String()
+}

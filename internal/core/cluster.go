@@ -26,8 +26,42 @@ import (
 	"cashmere/internal/ocl"
 	"cashmere/internal/satin"
 	"cashmere/internal/simnet"
+	"cashmere/internal/svm"
 	"cashmere/internal/trace"
 )
+
+// Transport selects how launch data reaches the devices.
+type Transport uint8
+
+const (
+	// TransportExplicit is the classic Cashmere model: the runtime enqueues
+	// explicit bulk H2D/D2H copies sized by LaunchSpec.InBytes/OutBytes.
+	TransportExplicit Transport = iota
+	// TransportSVM replaces explicit copies with simulated shared virtual
+	// memory: launch inputs fault in and outputs fault out as demand page
+	// migrations on the same DMA queues, and declared svm.Buffer accesses go
+	// through the node's coherence protocol (internal/svm).
+	TransportSVM
+)
+
+// String implements fmt.Stringer.
+func (t Transport) String() string {
+	if t == TransportSVM {
+		return "svm"
+	}
+	return "explicit"
+}
+
+// ParseTransport maps CLI spellings to a Transport.
+func ParseTransport(s string) (Transport, error) {
+	switch s {
+	case "", "explicit":
+		return TransportExplicit, nil
+	case "svm":
+		return TransportSVM, nil
+	}
+	return 0, fmt.Errorf("core: unknown transport %q (want explicit or svm)", s)
+}
 
 // NodeSpec describes one node of the simulated cluster.
 type NodeSpec struct {
@@ -60,6 +94,16 @@ type Config struct {
 	// data (the launch must supply Args). Used at verification scale; paper-
 	// scale runs leave it off and only charge modeled time.
 	Verify bool
+	// Transport selects explicit bulk copies (the default, the paper's
+	// model) or simulated shared virtual memory as the data-movement model.
+	// The same kernels run on either; only the billed movement differs.
+	Transport Transport
+	// SVM tunes the shared-virtual-memory layer (page size, coherence
+	// protocol, invalidation cost); zero values take svm defaults. Only
+	// meaningful with Transport == TransportSVM, but spaces exist (and
+	// NewSVMBuffer works) under any transport so the same program text runs
+	// on both.
+	SVM svm.Config
 	// Tuning, when non-nil, is the auto-tuning cache (internal/mcl/tune)
 	// consulted at initialization: a kernel with a cached winner for a
 	// device compiles at the tuned level with the tuned launch geometry
@@ -109,6 +153,7 @@ type NodeState struct {
 	ID          int
 	Devices     []*ocl.Device
 	Sched       *Scheduler
+	Space       *svm.Space                     // this node's shared-virtual-memory manager
 	kernels     map[string][]*codegen.Compiled // kernel name -> per-device compiled form
 	residentVer map[residentKey]int            // device-resident data versions
 	residentEv  map[residentKey]ocl.Event      // in-flight resident transfers
@@ -186,6 +231,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			costCache:   map[costKey][]costEntry{},
 			graphs:      map[*GraphSpec]*Graph{},
 		}
+		state.Space = svm.NewSpace(ps.KernelFor(i), i, on.Devices, cfg.SVM, rec, cfg.Net.TransferTime)
 		state.Sched = newScheduler(state)
 		cl.nodes = append(cl.nodes, state)
 		cl.rt.Node(i).SetDeviceState(state)

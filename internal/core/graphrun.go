@@ -141,7 +141,7 @@ func (g *Graph) Run(ctx *satin.Context) error {
 				key := residentKey{dev: op.dev, tag: op.rtag}
 				if ns.residentVer[key] != op.input.version {
 					ns.residentVer[key] = op.input.version
-					ev := dev.EnqueueWrite(op.bytes, op.label, depbuf[:nd]...)
+					ev := ns.stageH2D(op.dev, op.bytes, op.label, depbuf[:nd]...)
 					ns.residentEv[key] = ev
 					rs.ev[i] = ev
 					moved += op.bytes
@@ -152,10 +152,10 @@ func (g *Graph) Run(ctx *satin.Context) error {
 					hits++
 				}
 			} else {
-				rs.ev[i] = dev.EnqueueWrite(op.bytes, op.label, depbuf[:nd]...)
+				rs.ev[i] = ns.stageH2D(op.dev, op.bytes, op.label, depbuf[:nd]...)
 			}
 		case gopD2H:
-			rs.ev[i] = dev.EnqueueRead(op.bytes, op.label, depbuf[:nd]...)
+			rs.ev[i] = ns.stageD2H(op.dev, op.bytes, op.label, depbuf[:nd]...)
 		case gopKernel:
 			rs.ev[i] = dev.EnqueueLaunch(op.cost, op.label, depbuf[:nd]...)
 		case gopStream:

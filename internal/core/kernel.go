@@ -7,6 +7,7 @@ import (
 	"cashmere/internal/ocl"
 	"cashmere/internal/satin"
 	"cashmere/internal/simnet"
+	"cashmere/internal/svm"
 )
 
 const (
@@ -49,6 +50,13 @@ type LaunchSpec struct {
 	// verification-scale execution; ignored unless the cluster runs with
 	// Verify.
 	Args []any
+	// Buffers declares the launch's shared-virtual-memory accesses. Under
+	// the SVM transport each access is serviced through the node's coherence
+	// protocol (faults become demand page migrations the kernel waits on);
+	// under the explicit transport the declared bytes are billed as bulk
+	// copies folded into InBytes/OutBytes, so one program text runs — and
+	// can be compared — on both transports.
+	Buffers []BufferAccess
 	// Resident declares device-resident input data (the paper's "device
 	// copies" optimization, Sec. II-C.1): the named buffer is transferred to
 	// the chosen device only when that device has not yet seen this
@@ -138,12 +146,35 @@ func (l *Launch) Run(ctx *satin.Context) error {
 		return err
 	}
 
+	svmT := ns.svmEnabled()
+	in, out := l.spec.InBytes, l.spec.OutBytes
+	if !svmT {
+		// Explicit transport: declared SVM accesses are billed as bulk
+		// copies — read bytes ride the input transfer, written bytes the
+		// output drain — so one program text runs on both transports.
+		for _, a := range l.spec.Buffers {
+			n := a.Buf.Size()
+			if len(a.Ranges) > 0 {
+				n = 0
+				for _, r := range a.Ranges {
+					n += r.Len
+				}
+			}
+			if a.Mode&svm.Read != 0 {
+				in += n
+			}
+			if a.Mode&svm.Write != 0 {
+				out += n
+			}
+		}
+	}
+
 	// Cashmere manages device memory automatically (Sec. II-C.3): if the
 	// launch fits the device at all, wait for concurrent launches to release
 	// their buffers; only a launch that can never fit raises the exception
 	// that sends the caller to its CPU fallback (Fig. 4) — unless the
 	// out-of-core extension streams it in passes.
-	total := l.spec.InBytes + l.spec.OutBytes
+	total := in + out
 	if total > dev.Spec().GlobalMem {
 		if l.spec.OutOfCore {
 			return l.runOutOfCore(ctx, devIdx, est, cost)
@@ -161,7 +192,6 @@ func (l *Launch) Run(ctx *satin.Context) error {
 	defer buf.Free()
 
 	tracing := dev.Tracing()
-	in, out := l.spec.InBytes, l.spec.OutBytes
 
 	// hdep is the host->device event the kernel must follow in addition to
 	// the implicit in-order queue ordering: the resident transfer, when one
@@ -185,7 +215,13 @@ func (l *Launch) Run(ctx *satin.Context) error {
 					label += "+in"
 				}
 			}
-			hdep = dev.EnqueueWrite(rb, label)
+			if svmT {
+				// Resident data faults in page by page under SVM: same
+				// queue, demand-fault billing.
+				hdep = ns.Space.FaultIn(devIdx, rb, label)
+			} else {
+				hdep = dev.EnqueueWrite(rb, label)
+			}
 			ns.residentEv[key] = hdep
 		} else {
 			// The data is current, but a concurrent launch may still have
@@ -194,29 +230,53 @@ func (l *Launch) Run(ctx *satin.Context) error {
 		}
 	}
 
+	// Under SVM, service every declared buffer access through the node's
+	// coherence protocol; the kernel gates on the last migration into this
+	// device (all acquires target the same in-order H2D queue).
+	var bdep ocl.Event
+	if svmT {
+		for _, a := range l.spec.Buffers {
+			if ev := ns.Space.Acquire(p, a.Buf, devIdx, a.Mode, a.Ranges); !ev.Done() {
+				bdep = ev
+			}
+		}
+	}
+
 	var measured simnet.Duration
 	if in+out >= streamThreshold {
-		measured = l.streamPasses(p, dev, cost, in, out, inCorePasses(in+out), hdep, false, tracing)
+		// The double-buffered pipeline stays bulk under both transports:
+		// streaming already hand-places its transfers, which is exactly the
+		// explicit-management work SVM exists to avoid — the crossover
+		// experiment quantifies the resulting gap.
+		measured = l.streamPasses(p, dev, cost, in, out, inCorePasses(in+out), false, tracing, hdep, bdep)
 	} else {
 		if in > 0 {
 			var label string
 			if tracing {
 				label = l.spec.Label + ":in"
 			}
-			hdep = dev.EnqueueWrite(in, label, hdep)
+			if svmT {
+				hdep = ns.Space.FaultIn(devIdx, in, label, hdep)
+			} else {
+				hdep = dev.EnqueueWrite(in, label, hdep)
+			}
 		}
 		var klabel string
 		if tracing {
 			klabel = l.spec.Label
 		}
-		last := dev.EnqueueLaunch(cost, klabel, hdep)
+		last := dev.EnqueueLaunch(cost, klabel, hdep, bdep)
 		measured = dev.Spec().KernelTime(cost)
 		if out > 0 {
 			var label string
 			if tracing {
 				label = l.spec.Label + ":out"
 			}
-			last = dev.EnqueueRead(out, label, last)
+			if svmT {
+				last = ns.Space.FaultOut(devIdx, out, label, last)
+			} else {
+				last = dev.EnqueueRead(out, label, last)
+			}
 		}
 		last.Wait(p)
 	}
@@ -246,8 +306,8 @@ func inCorePasses(total int64) int {
 // streamPasses drives one launch as `passes` write->launch->read slices over
 // the device's in-order queues, blocking the calling proc until the final
 // event. Returns the summed modeled kernel time.
-func (l *Launch) streamPasses(p *simnet.Proc, dev *ocl.Device, cost device.KernelCost, inTotal, outTotal int64, passes int, hdep ocl.Event, chunked, tracing bool) simnet.Duration {
-	last, measured := enqueueStream(dev, l.spec.Label, cost, inTotal, outTotal, passes, chunked, tracing, hdep)
+func (l *Launch) streamPasses(p *simnet.Proc, dev *ocl.Device, cost device.KernelCost, inTotal, outTotal int64, passes int, chunked, tracing bool, hdeps ...ocl.Event) simnet.Duration {
+	last, measured := enqueueStream(dev, l.spec.Label, cost, inTotal, outTotal, passes, chunked, tracing, hdeps...)
 	last.Wait(p)
 	return measured
 }
@@ -347,7 +407,7 @@ func (l *Launch) runOutOfCore(ctx *satin.Context, devIdx int, est simnet.Duratio
 	}
 	defer buf.Free()
 
-	measured := l.streamPasses(p, dev, cost, l.spec.InBytes, l.spec.OutBytes, passes, ocl.Event{}, true, dev.Tracing())
+	measured := l.streamPasses(p, dev, cost, l.spec.InBytes, l.spec.OutBytes, passes, true, dev.Tracing())
 	ns.Sched.Done(l.k.name, devIdx, est, measured)
 	ns.flopsCharged += cost.Flops
 	if ns.cl.cfg.Verify {

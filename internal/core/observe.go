@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cashmere/internal/simnet"
+	"cashmere/internal/svm"
 	"cashmere/internal/trace"
 )
 
@@ -101,6 +102,21 @@ func (cl *Cluster) CollectMetrics() *trace.Metrics {
 	m.SetInt("tune.cache_hits", tuneHits)
 	m.SetInt("tune.cache_misses", tuneMisses)
 	m.SetInt("tune.evaluations", tuneEvals)
+
+	// Shared-virtual-memory counters, summed over nodes. All zero under the
+	// explicit transport with no declared SVM buffers; trajectory-determined
+	// like everything else in this dump.
+	var sc svm.Counters
+	for _, ns := range cl.nodes {
+		sc.Add(ns.Space.Counters())
+	}
+	m.SetInt("svm.faults", sc.Faults)
+	m.SetInt("svm.hits", sc.Hits)
+	m.SetInt("svm.pages_migrated", sc.PagesMigrated)
+	m.SetInt("svm.invalidations", sc.Invalidations)
+	m.SetInt("svm.bytes_moved", sc.BytesMoved)
+	m.SetInt("svm.remote_fetches", sc.RemoteFetches)
+	m.SetInt("svm.remote_bytes", sc.RemoteBytes)
 
 	m.MergeCounters(cl.rec)
 	return m

@@ -145,3 +145,50 @@ func TestSpecString(t *testing.T) {
 		t.Fatalf("String = %q", got)
 	}
 }
+
+func TestPageTransferTimeRoundTripLatency(t *testing.T) {
+	s := Catalog()["k20"]
+	page := int64(64 << 10)
+	bulk := s.TransferTime(page)
+	fault := s.PageTransferTime(page)
+	if fault != bulk+s.PCIeLatency {
+		t.Fatalf("fault = %v, want bulk %v + one extra latency %v", fault, bulk, s.PCIeLatency)
+	}
+	// The latency share of a page fault must dominate a small page: that is
+	// the under-billing the bulk model would commit.
+	if fault < 2*s.PCIeLatency {
+		t.Fatalf("fault %v cheaper than its own round trip %v", fault, 2*s.PCIeLatency)
+	}
+}
+
+func TestPagedTransferTimeClosedForm(t *testing.T) {
+	s := Catalog()["gtx480"]
+	const page = int64(64 << 10)
+	// 2.5 pages: two full pages plus a partial tail.
+	n := 2*page + page/2
+	var sum time.Duration
+	for off := int64(0); off < n; off += page {
+		p := page
+		if n-off < p {
+			p = n - off
+		}
+		sum += s.PageTransferTime(p)
+	}
+	got := s.PagedTransferTime(n, page)
+	// The closed form rounds the bandwidth term once, the sum once per page:
+	// allow a nanosecond of rounding slack per page.
+	if d := got - sum; d < -3*time.Nanosecond || d > 3*time.Nanosecond {
+		t.Fatalf("PagedTransferTime = %v, per-page sum = %v", got, sum)
+	}
+	// One whole-buffer "page" degenerates to a single fault.
+	if s.PagedTransferTime(n, n) != s.PageTransferTime(n) {
+		t.Fatal("single-page transfer should equal one fault")
+	}
+	if s.PagedTransferTime(0, page) != 0 {
+		t.Fatal("zero bytes should cost nothing")
+	}
+	// Paged movement must never under-bill the bulk path.
+	if s.PagedTransferTime(n, page) <= s.TransferTime(n) {
+		t.Fatal("paged transfer should cost more than one bulk transfer")
+	}
+}

@@ -237,6 +237,36 @@ func (d *Device) EnqueueRead(n int64, label string, deps ...Event) Event {
 	return d.qD2H.enqueue(trace.KindD2H, d.stretch(d.spec.TransferTime(n)), n, label, deps)
 }
 
+// PageTransferTime reports the modeled service time of one demand-paged
+// fault of n bytes (latency-dominated round trip, unlike the bandwidth-only
+// bulk path), stretched by the device's current slowdown factor. SVM fault
+// costs are billed with this, so they never under-bill via TransferTime.
+func (d *Device) PageTransferTime(n int64) time.Duration {
+	return d.stretch(d.spec.PageTransferTime(n))
+}
+
+// PagedTransferTime reports the modeled service time of moving n bytes as
+// demand-paged faults of pageSize bytes each, stretched by the slowdown
+// factor.
+func (d *Device) PagedTransferTime(n, pageSize int64) time.Duration {
+	return d.stretch(d.spec.PagedTransferTime(n, pageSize))
+}
+
+// EnqueuePagedWrite appends a host-to-device transfer of n bytes moved as
+// demand-paged faults of pageSize bytes each to the H2D queue. The operation
+// occupies the DMA engine for the summed per-page round trips, so a fault
+// storm contends with bulk transfers on the same engine (and with reads, on
+// single-copy-engine devices).
+func (d *Device) EnqueuePagedWrite(n, pageSize int64, label string, deps ...Event) Event {
+	return d.qH2D.enqueue(trace.KindH2D, d.PagedTransferTime(n, pageSize), n, label, deps)
+}
+
+// EnqueuePagedRead appends a device-to-host transfer of n bytes moved as
+// demand-paged faults of pageSize bytes each to the D2H queue.
+func (d *Device) EnqueuePagedRead(n, pageSize int64, label string, deps ...Event) Event {
+	return d.qD2H.enqueue(trace.KindD2H, d.PagedTransferTime(n, pageSize), n, label, deps)
+}
+
 // EnqueueLaunch appends a kernel execution with the given cost descriptor to
 // the compute queue. The modeled execution time is d.Spec().KernelTime(cost),
 // which is pure: schedulers wanting the measured kernel time compute it

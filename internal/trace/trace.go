@@ -45,6 +45,7 @@ const (
 	KindCPU    Kind = "cpu"    // CPU-side task (job management, leaf on CPU)
 	KindSteal  Kind = "steal"  // work-stealing protocol activity
 	KindSched  Kind = "sched"  // simulation-kernel scheduling slice
+	KindFault  Kind = "fault"  // SVM demand-fault service (page migrations)
 )
 
 // Attr is one key=value annotation on a span, exported as a Chrome
@@ -330,6 +331,8 @@ func (r *Recorder) Gantt(opt GanttOptions) string {
 			return '#'
 		case KindH2D, KindD2H, KindSend, KindRecv:
 			return '='
+		case KindFault:
+			return '~'
 		default:
 			return '-'
 		}
@@ -367,6 +370,6 @@ func (r *Recorder) Gantt(opt GanttOptions) string {
 		}
 		fmt.Fprintf(&b, "%s |%s|\n", label(k), row)
 	}
-	b.WriteString("legend: # kernel   = transfer (pcie/network)   - cpu/steal\n")
+	b.WriteString("legend: # kernel   = transfer (pcie/network)   - cpu/steal   ~ svm fault\n")
 	return b.String()
 }
